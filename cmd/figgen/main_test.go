@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"table1", "fig2a", "casestudy", "headline"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("list missing %s", id)
+		}
+	}
+}
+
+func TestOnlyToStdout(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-sweep", "quick", "-only", "table3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Coherent Scattering") {
+		t.Errorf("table3 content missing:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "fig2a:") {
+		t.Error("-only leaked other artifacts")
+	}
+}
+
+func TestOutDirWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-sweep", "quick", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"table1.txt", "fig2a.txt", "fig2a.csv", "fig4.csv", "headline.txt"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing %s: %v", f, err)
+		}
+	}
+	// headline has no CSV.
+	if _, err := os.Stat(filepath.Join(dir, "headline.csv")); err == nil {
+		t.Error("headline.csv should not exist")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-sweep", "galactic"}, &out); err == nil {
+		t.Error("bad sweep accepted")
+	}
+	if err := run([]string{"-sweep", "quick", "-only", "fig99"}, &out); err == nil {
+		t.Error("unknown artifact accepted")
+	}
+	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,78 @@
+// Command goperf is a minimal iperf3-style load generator over real TCP
+// sockets — the live measurement instrument behind the reproduction's
+// transport package.
+//
+// Server: goperf -s [-n 4]           (listen on n loopback ports)
+// Client: goperf -c 127.0.0.1:PORT [-P 8] [-bytes 64MB]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/units"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "goperf:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("goperf", flag.ContinueOnError)
+	serverMode := fs.Bool("s", false, "run as server")
+	nServers := fs.Int("n", 1, "number of server ports (server mode)")
+	clientAddr := fs.String("c", "", "run as client against this address")
+	flows := fs.Int("P", 1, "parallel flows (client mode)")
+	bytesStr := fs.String("bytes", "64MB", "total payload (client mode)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch {
+	case *serverMode:
+		group, err := transport.ListenServers(*nServers)
+		if err != nil {
+			return err
+		}
+		defer group.Close()
+		for _, a := range group.Addrs() {
+			fmt.Fprintf(out, "listening on %s\n", a)
+		}
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		fmt.Fprintln(out, "shutting down")
+		return nil
+
+	case *clientAddr != "":
+		size, err := units.ParseByteSize(*bytesStr)
+		if err != nil {
+			return err
+		}
+		res, err := transport.RunClient(*clientAddr, transport.ClientConfig{
+			Flows: *flows,
+			Bytes: size,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "transferred %s in %v over %d flows\n",
+			units.ByteSize(res.Bytes), res.Duration.Round(time.Microsecond), *flows)
+		fmt.Fprintf(out, "throughput: %v (%v)\n", res.Throughput(), res.Throughput().BitRate())
+		for i, d := range res.FlowDurations {
+			fmt.Fprintf(out, "  flow %d: %v\n", i, d.Round(time.Microsecond))
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("need -s (server) or -c ADDR (client)")
+	}
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+func TestClientAgainstServer(t *testing.T) {
+	g, err := transport.ListenServers(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	var out strings.Builder
+	err = run([]string{"-c", g.Addrs()[0], "-P", "2", "-bytes", "1MB"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"transferred 1.00 MB", "throughput:", "flow 0:", "flow 1:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestNoModeError(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Fatal("missing mode accepted")
+	}
+}
+
+func TestBadBytes(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-c", "127.0.0.1:1", "-bytes", "banana"}, &out); err == nil {
+		t.Fatal("bad bytes accepted")
+	}
+}
+
+func TestClientConnectionError(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-c", "127.0.0.1:1", "-bytes", "1KB"}, &out); err == nil {
+		t.Fatal("dead server accepted")
+	}
+}

@@ -1,0 +1,157 @@
+// Command ssslab runs the paper's congestion measurement methodology and
+// reports Streaming Speed Scores: either on the simulated bottleneck
+// (default, reproducing Fig. 2) or live over loopback TCP sockets.
+//
+// Usage:
+//
+//	ssslab [-mode sim|live] [-seconds 10] [-concurrency 4] [-flows 8]
+//	       [-size 0.5GB] [-strategy simultaneous|scheduled] [-csv file]
+//
+// Live mode uses small transfers by default (loopback is not a 25 Gbps
+// WAN); pass -size explicitly to push harder.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tcpsim"
+	"repro/internal/transport"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ssslab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ssslab", flag.ContinueOnError)
+	mode := fs.String("mode", "sim", "sim (tcpsim bottleneck) or live (loopback TCP)")
+	seconds := fs.Int("seconds", 10, "experiment duration in seconds")
+	concurrency := fs.Int("concurrency", 4, "clients spawned per second")
+	flows := fs.Int("flows", 8, "parallel TCP flows per client")
+	sizeStr := fs.String("size", "", "transfer size per client (default 0.5GB sim, 8MB live)")
+	strategy := fs.String("strategy", "simultaneous", "simultaneous or scheduled")
+	csvPath := fs.String("csv", "", "write the per-client transfer log as CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch *mode {
+	case "sim":
+		size := 0.5 * units.GB
+		if *sizeStr != "" {
+			var err error
+			size, err = units.ParseByteSize(*sizeStr)
+			if err != nil {
+				return err
+			}
+		}
+		strat := workload.SpawnSimultaneous
+		if *strategy == "scheduled" {
+			strat = workload.SpawnScheduled
+		} else if *strategy != "simultaneous" {
+			return fmt.Errorf("unknown strategy %q", *strategy)
+		}
+		e := workload.Experiment{
+			Duration:      time.Duration(*seconds) * time.Second,
+			Concurrency:   *concurrency,
+			ParallelFlows: *flows,
+			TransferSize:  size,
+			Strategy:      strat,
+			Net:           tcpsim.DefaultConfig(),
+		}
+		res, err := workload.Run(e)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "mode:          simulated %v bottleneck, RTT %v\n", e.Net.Capacity, e.Net.BaseRTT)
+		fmt.Fprintf(out, "experiment:    %d s x %d clients/s x %v over %d flows (%s)\n",
+			*seconds, *concurrency, size, *flows, strat)
+		fmt.Fprintf(out, "offered load:  %.0f%%\n", e.OfferedLoad()*100)
+		fmt.Fprintf(out, "measured util: %.0f%%\n", res.MeanUtilization*100)
+		fmt.Fprintf(out, "worst FCT:     %v\n", res.WorstFCT.Round(time.Millisecond))
+		fmt.Fprintf(out, "theoretical:   %v\n", res.Theoretical.Round(time.Millisecond))
+		fmt.Fprintf(out, "SSS:           %.2f\n", res.SSS)
+		rc := core.DefaultRegimeClassifier()
+		fmt.Fprintf(out, "regime:        %s\n", rc.Classify(res.WorstFCT))
+		if *csvPath != "" {
+			return writeCSV(*csvPath, res)
+		}
+		return nil
+
+	case "live":
+		size := 8 * units.MB
+		if *sizeStr != "" {
+			var err error
+			size, err = units.ParseByteSize(*sizeStr)
+			if err != nil {
+				return err
+			}
+		}
+		strat := transport.LoadSimultaneous
+		if *strategy == "scheduled" {
+			strat = transport.LoadScheduled
+		} else if *strategy != "simultaneous" {
+			return fmt.Errorf("unknown strategy %q", *strategy)
+		}
+		group, err := transport.ListenServers(*concurrency)
+		if err != nil {
+			return err
+		}
+		defer group.Close()
+		log, err := transport.RunLoad(group, transport.LoadConfig{
+			Seconds:     *seconds,
+			Concurrency: *concurrency,
+			Client:      transport.ClientConfig{Flows: *flows, Bytes: size},
+			Strategy:    strat,
+		})
+		if err != nil {
+			return err
+		}
+		worst, err := log.MaxDuration()
+		if err != nil {
+			return err
+		}
+		sample := log.Durations()
+		sm, err := sample.Summarize()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "mode:       live loopback TCP, %d servers\n", *concurrency)
+		fmt.Fprintf(out, "experiment: %d s x %d clients/s x %v over %d flows (%s)\n",
+			*seconds, *concurrency, size, *flows, *strategy)
+		fmt.Fprintf(out, "transfers:  %s\n", sm)
+		fmt.Fprintf(out, "worst FCT:  %.3f s\n", worst)
+		fmt.Fprintln(out, "note: loopback has no fixed capacity; SSS against a nominal link is not reported in live mode")
+		if *csvPath != "" {
+			f, err := os.Create(*csvPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			return log.WriteCSV(f)
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("unknown mode %q (want sim or live)", *mode)
+	}
+}
+
+func writeCSV(path string, res *workload.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return res.TraceLog().WriteCSV(f)
+}

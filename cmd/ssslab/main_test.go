@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSimMode(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-seconds", "2", "-concurrency", "6", "-flows", "8"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"offered load:  96%", "worst FCT:", "SSS:", "regime:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSimScheduled(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-seconds", "2", "-strategy", "scheduled"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "scheduled") {
+		t.Errorf("strategy missing:\n%s", out.String())
+	}
+}
+
+func TestSimCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log.csv")
+	var out strings.Builder
+	if err := run([]string{"-seconds", "1", "-csv", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "client_id") {
+		t.Errorf("csv content: %s", data)
+	}
+}
+
+func TestLiveMode(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-mode", "live", "-seconds", "1", "-concurrency", "2",
+		"-flows", "2", "-size", "256KB"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "live loopback") {
+		t.Errorf("live output:\n%s", out.String())
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	cases := [][]string{
+		{"-mode", "quantum"},
+		{"-strategy", "chaotic"},
+		{"-mode", "live", "-strategy", "chaotic"},
+		{"-size", "banana"},
+		{"-mode", "live", "-size", "banana"},
+		{"-seconds", "0"},
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Command streamdecide evaluates the paper's quantitative model for one
+// workload and prints the local-vs-remote decision with its full
+// breakdown, gain, and break-even analysis.
+//
+// Usage:
+//
+//	streamdecide -size 2GB -complexity 17e12 -local 5TF -remote 100TF \
+//	             -bw 25Gbps -rate 2GB/s [-theta 1.0] [-gen 2GB/s] [-tier 2]
+//
+// Complexity is FLOP per GB of input, as in the paper's parameter table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/plot"
+	"repro/internal/scenario"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "streamdecide:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("streamdecide", flag.ContinueOnError)
+	sizeStr := fs.String("size", "2GB", "data unit size S_unit (e.g. 0.5GB)")
+	complexity := fs.Float64("complexity", 17e12, "computation complexity C in FLOP per GB")
+	localStr := fs.String("local", "5TF", "local processing rate R_local (e.g. 5TF)")
+	remoteStr := fs.String("remote", "100TF", "remote processing rate R_remote")
+	bwStr := fs.String("bw", "25Gbps", "link bandwidth Bw")
+	rateStr := fs.String("rate", "2GB/s", "effective transfer rate R_transfer")
+	theta := fs.Float64("theta", 1.0, "file I/O overhead coefficient (1 = streaming)")
+	genStr := fs.String("gen", "", "sustained generation rate (optional, e.g. 2GB/s)")
+	tier := fs.Int("tier", 0, "latency tier deadline: 1 (<1s), 2 (<10s), 3 (<1min); 0 = none")
+	sweep := fs.String("sensitivity", "", "plot T_pct sensitivity: theta, alpha, or r")
+	configPath := fs.String("config", "", "decide a JSON portfolio of workloads instead of flags")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *configPath != "" {
+		f, err := os.Open(*configPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		doc, err := scenario.Load(f)
+		if err != nil {
+			return err
+		}
+		rows, err := scenario.DecideAll(doc)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, scenario.Render(rows))
+		return nil
+	}
+
+	size, err := units.ParseByteSize(*sizeStr)
+	if err != nil {
+		return err
+	}
+	local, err := units.ParseFLOPS(*localStr)
+	if err != nil {
+		return err
+	}
+	remote, err := units.ParseFLOPS(*remoteStr)
+	if err != nil {
+		return err
+	}
+	bw, err := units.ParseBitRate(*bwStr)
+	if err != nil {
+		return err
+	}
+	rate, err := units.ParseByteRate(*rateStr)
+	if err != nil {
+		return err
+	}
+
+	p := core.Params{
+		UnitSize:              size,
+		ComplexityFLOPPerByte: core.ComplexityFLOPPerGB(*complexity),
+		LocalRate:             local,
+		RemoteRate:            remote,
+		Bandwidth:             bw,
+		TransferRate:          rate,
+		Theta:                 *theta,
+	}
+
+	var opts core.DecideOpts
+	if *genStr != "" {
+		gen, err := units.ParseByteRate(*genStr)
+		if err != nil {
+			return err
+		}
+		opts.GenerationRate = gen
+	}
+	if *tier != 0 {
+		t := core.Tier(*tier)
+		if t.Budget() == 0 {
+			return fmt.Errorf("unknown tier %d (want 1, 2, or 3)", *tier)
+		}
+		opts.Deadline = t.Budget()
+		fmt.Fprintf(out, "deadline: %s\n", t)
+	}
+
+	d, err := core.Decide(p, opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "parameters: %s\n\n", p)
+	fmt.Fprintf(out, "breakdown:  %s\n", d.Breakdown)
+	fmt.Fprintf(out, "gain:       %.3fx (T_local / T_pct)\n\n", d.Gain)
+	fmt.Fprintf(out, "DECISION:   %s\n", d.Choice)
+	fmt.Fprintf(out, "reason:     %s\n", d.Reason)
+	if tierGot, ok := core.StrictestTier(d.Breakdown.TPct); ok {
+		fmt.Fprintf(out, "remote path meets: %s\n", tierGot)
+	} else {
+		fmt.Fprintf(out, "remote path meets no latency tier (T_pct %v)\n", d.Breakdown.TPct.Round(time.Millisecond))
+	}
+
+	fmt.Fprintln(out, "\nbreak-even analysis:")
+	if th, err := p.BreakEvenTheta(); err == nil {
+		fmt.Fprintf(out, "  theta* = %.3f (remote wins while file overhead stays below this)\n", th)
+	} else {
+		fmt.Fprintf(out, "  theta*: %v\n", err)
+	}
+	if a, err := p.BreakEvenAlpha(); err == nil {
+		fmt.Fprintf(out, "  alpha* = %.3f (minimum transfer efficiency for remote to win)\n", a)
+	} else {
+		fmt.Fprintf(out, "  alpha*: %v\n", err)
+	}
+	if r, err := p.BreakEvenR(); err == nil {
+		fmt.Fprintf(out, "  r*     = %.3f (minimum remote/local compute ratio)\n", r)
+	} else {
+		fmt.Fprintf(out, "  r*:     %v\n", err)
+	}
+	if b, err := p.BreakEvenBandwidth(); err == nil {
+		fmt.Fprintf(out, "  Bw*    = %v (minimum link bandwidth at current alpha)\n", b)
+	} else {
+		fmt.Fprintf(out, "  Bw*:    %v\n", err)
+	}
+
+	if *sweep != "" {
+		if err := printSensitivity(out, p, *sweep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printSensitivity renders an ASCII chart of T_pct across one model
+// coefficient, with the local completion time as the reference line.
+func printSensitivity(out io.Writer, p core.Params, axis string) error {
+	var series stats.Series
+	var err error
+	var xlabel string
+	switch axis {
+	case "theta":
+		series, err = p.SweepTheta(1, 10, 32)
+		xlabel = "theta (file I/O overhead)"
+	case "alpha":
+		series, err = p.SweepAlpha(0.05, 1, 32)
+		xlabel = "alpha (transfer efficiency)"
+	case "r":
+		series, err = p.SweepR(0.5, 50, 32)
+		xlabel = "r (remote/local compute ratio)"
+	default:
+		return fmt.Errorf("unknown sensitivity axis %q (want theta, alpha, or r)", axis)
+	}
+	if err != nil {
+		return err
+	}
+	series.Name = "T_pct"
+	local := stats.Series{Name: "T_local"}
+	for i := 0; i < series.Len(); i++ {
+		local.AddPoint(series.X[i], p.TLocal().Seconds())
+	}
+	fmt.Fprintln(out)
+	fmt.Fprint(out, plot.LineChart(plot.Config{
+		Title:  fmt.Sprintf("T_pct sensitivity to %s", axis),
+		XLabel: xlabel,
+		YLabel: "completion time (s)",
+		Width:  64,
+		Height: 14,
+	}, series, local))
+	return nil
+}

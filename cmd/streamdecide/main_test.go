@@ -1,0 +1,120 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDefaultDecision(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"DECISION:   remote", "gain:", "theta* = 6.460", "break-even"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTierDeadline(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-tier", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Tier 2") {
+		t.Errorf("missing tier: %s", out.String())
+	}
+	if err := run([]string{"-tier", "9"}, &out); err == nil {
+		t.Error("bad tier accepted")
+	}
+}
+
+func TestGenerationRateInfeasible(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-gen", "4GB/s"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "DECISION:   local") {
+		t.Errorf("4 GB/s on 2 GB/s effective should force local:\n%s", out.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := [][]string{
+		{"-size", "banana"},
+		{"-local", "x"},
+		{"-remote", "?"},
+		{"-bw", "12 parsecs"},
+		{"-rate", "oops"},
+		{"-gen", "bad"},
+		{"-theta", "0.5"}, // invalid params -> Decide error
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestConfigPortfolio(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "portfolio.json")
+	doc := `{"workloads":[{"name":"XPCS","unit_size":"2GB","complexity_flop_per_gb":17e12,
+		"local":"5TF","remote":"100TF","bandwidth":"25Gbps","transfer_rate":"2GB/s","tier":2}]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-config", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "XPCS") || !strings.Contains(out.String(), "remote") {
+		t.Errorf("portfolio output:\n%s", out.String())
+	}
+	if err := run([]string{"-config", filepath.Join(dir, "missing.json")}, &out); err == nil {
+		t.Error("missing config accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", bad}, &out); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestSensitivityCharts(t *testing.T) {
+	for _, axis := range []string{"theta", "alpha", "r"} {
+		var out strings.Builder
+		if err := run([]string{"-sensitivity", axis}, &out); err != nil {
+			t.Fatalf("axis %s: %v", axis, err)
+		}
+		if !strings.Contains(out.String(), "T_pct sensitivity to "+axis) {
+			t.Errorf("axis %s: chart missing", axis)
+		}
+		if !strings.Contains(out.String(), "T_local") {
+			t.Errorf("axis %s: reference line missing", axis)
+		}
+	}
+	var out strings.Builder
+	if err := run([]string{"-sensitivity", "bogus"}, &out); err == nil {
+		t.Error("bogus axis accepted")
+	}
+}
+
+func TestNoTierLine(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-theta", "8"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// theta = 8 pushes T_pct above T_local: local wins, and the
+	// theta break-even is reported as the boundary.
+	if !strings.Contains(out.String(), "DECISION:   local") {
+		t.Errorf("theta=8 should favor local:\n%s", out.String())
+	}
+}

@@ -1,0 +1,62 @@
+// aps-tomography reproduces the paper's Fig. 4 scenario: one APS
+// tomography scan (1,440 projections of 2048x2048 16-bit pixels,
+// ~12.1 GB) moved from the APS Voyager GPFS side to ALCF Eagle Lustre,
+// comparing memory-based streaming against file-based staging at several
+// aggregation levels and both generation rates.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/facility"
+	"repro/internal/fsim"
+	"repro/internal/pipeline"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("aps-tomography: ")
+
+	aps := facility.APS()
+	fmt.Printf("facility: %s (%s)\n", aps.Name, aps.Notes)
+
+	for _, interval := range []time.Duration{33 * time.Millisecond, 330 * time.Millisecond} {
+		scan := pipeline.APSScan(interval)
+		fmt.Printf("\n=== %v/frame (%v sustained) — scan of %v over %v ===\n",
+			interval, scan.GenerationRate(), scan.TotalBytes(), scan.GenerationEnd())
+
+		stream, err := pipeline.Streaming(scan, pipeline.DefaultStreaming())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("streaming:    complete %8.1fs  first-byte %6.2fs  post-gen %7.3fs\n",
+			stream.Completion.Seconds(), stream.FirstByteRemote.Seconds(), stream.PostGeneration().Seconds())
+
+		for _, n := range []int{1, 10, 144, 1440} {
+			tl, err := pipeline.FileBased(scan, pipeline.DefaultFileBased(n))
+			if err != nil {
+				log.Fatal(err)
+			}
+			theta, err := fsim.ThetaFor(fsim.VoyagerGPFS(), fsim.APSToALCF(), fsim.EagleLustre(), n, scan.TotalBytes())
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%5d file(s): complete %8.1fs  first-byte %6.2fs  post-gen %7.1fs  theta=%.2f  (%.1f%% slower than streaming)\n",
+				n, tl.Completion.Seconds(), tl.FirstByteRemote.Seconds(), tl.PostGeneration().Seconds(),
+				theta, -pipeline.ReductionPercent(tl, stream))
+		}
+
+		worst, err := pipeline.FileBased(scan, pipeline.DefaultFileBased(1440))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("streaming reduction vs per-frame files: %.1f%% (paper: up to 97%% at high rates)\n",
+			pipeline.ReductionPercent(stream, worst))
+	}
+
+	fmt.Println("\nreading: at the high frame rate, per-file overheads dominate the staged")
+	fmt.Println("path while streaming overlaps transfer with generation; at the low rate")
+	fmt.Println("generation dominates everything and aggregated file transfers stay competitive.")
+}

@@ -1,0 +1,85 @@
+// lcls2-feasibility reproduces the paper's §5 case study: can LCLS-II's
+// compute-intensive workflows (Table 3) meet real-time and near-real-time
+// deadlines on remote HPC, once worst-case congestion is priced in?
+//
+// The congestion curve is measured on the simulated 25 Gbps testbed
+// (Fig. 2a methodology), then extrapolated to each workflow's sustained
+// rate exactly as the paper does.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/facility"
+	"repro/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lcls2-feasibility: ")
+
+	// Measure the congestion curve on the simulated testbed.
+	fmt.Println("measuring congestion curve (simulated 25 Gbps bottleneck)...")
+	fig2a, err := experiments.Fig2a(experiments.QuickSweep())
+	if err != nil {
+		log.Fatal(err)
+	}
+	curve, err := fig2a.Sweep.FitCurve()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Print the Table 3 workloads.
+	fmt.Println("\nLCLS-II workflows (paper Table 3):")
+	for _, w := range facility.LCLS2Workflows() {
+		fmt.Println("  -", w)
+	}
+
+	// Run the §5 assessment.
+	study, err := experiments.CaseStudy(curve)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n" + study.Artifact.Text)
+
+	// Spell out the paper's two §5 narratives against our measurements.
+	cs := study.Rows[0]
+	fmt.Printf("coherent scattering: streaming one second of data (2 GB) worst case %v at %.0f%% load\n",
+		cs.WorstStreaming.Round(10*time.Millisecond), cs.Utilization*100)
+	if cs.Tier2OK {
+		fmt.Printf("  -> fits Tier 2 with %v left for remote analysis (paper: 1.2 s worst case, 8.8 s left)\n",
+			cs.AnalysisBudgetTier2.Round(10*time.Millisecond))
+		fmt.Printf("  -> if local analysis beats %v, local processing is favored (paper's rule)\n",
+			cs.LocalThreshold.Round(10*time.Millisecond))
+	}
+
+	ls := study.Rows[1]
+	fmt.Printf("\nliquid scattering at nominal %v: utilization %.0f%% of the 25 Gbps link\n",
+		ls.Rate, ls.Utilization*100)
+	if !ls.SustainedFeasible {
+		fmt.Println("  -> infeasible: sustained rate exceeds link capacity (paper: 'obviously unfeasible')")
+	}
+
+	lsr := study.Rows[2]
+	fmt.Printf("\nliquid scattering reduced to %v (%.0f%% load): worst case %v\n",
+		lsr.Rate, lsr.Utilization*100, lsr.WorstStreaming.Round(10*time.Millisecond))
+	if lsr.Tier2OK {
+		fmt.Printf("  -> Tier 2 leaves only %v for analysis (paper: 6 s worst case, 4 s left)\n",
+			lsr.AnalysisBudgetTier2.Round(10*time.Millisecond))
+	} else {
+		fmt.Println("  -> misses Tier 2 entirely under measured worst-case congestion")
+	}
+
+	// Bonus: what compute would the remote side need to use that budget?
+	if cs.Tier2OK {
+		w := facility.LCLS2CoherentScattering()
+		needed := w.Compute.PerSecond() / cs.AnalysisBudgetTier2.Seconds()
+		fmt.Printf("\nto analyze one second of coherent-scattering data within the remaining budget,\n")
+		fmt.Printf("the remote facility needs >= %v sustained.\n", units.FLOPS(needed))
+	}
+	_ = core.Tier2
+}

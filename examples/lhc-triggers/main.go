@@ -1,0 +1,86 @@
+// lhc-triggers walks the paper's most extreme science driver (§2.2.1):
+// the LHC's two-tier trigger chain reducing 40 TB/s of raw collisions to
+// ~1 GB/s for storage. The example pushes the raw rate through the
+// reduction pipeline, then asks the decision model at each stage
+// boundary: could this stage's output stream to remote HPC instead of
+// being processed on site?
+//
+// The answer the paper implies — and this reproduces — is that streaming
+// is structurally impossible before the triggers (raw and post-L1 rates
+// dwarf any WAN) and becomes trivially feasible after the HLT, which is
+// exactly why the trigger farms must live at CERN.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/facility"
+	"repro/internal/reduction"
+	"repro/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lhc-triggers: ")
+
+	lhc := facility.LHC()
+	chain := reduction.ATLASTrigger()
+	raw := lhc.RawRate
+
+	rates, err := chain.StageRates(raw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	total, err := chain.TotalReduction()
+	if err != nil {
+		log.Fatal(err)
+	}
+	lat, err := chain.Latency()
+	if err != nil {
+		log.Fatal(err)
+	}
+	demand, err := chain.ComputeDemand(raw)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s: %v raw -> %v stored (%.0fx reduction)\n",
+		chain.Name, raw, rates[len(rates)-1], total)
+	fmt.Printf("chain decision latency %v, sustained compute demand %v\n\n", lat, demand)
+
+	// At each stage boundary, ask: can this rate stream over the WAN?
+	link := lhc.Link // 100 Gbps
+	labels := []string{"raw detector output", "after L1 trigger", "after HLT"}
+	for i, rate := range rates {
+		fmt.Printf("%-22s %14v:", labels[i], rate)
+		util := rate.BytesPerSecond() / link.ByteRate().BytesPerSecond()
+		if util > 1 {
+			fmt.Printf("  CANNOT stream (needs %.0fx the %v link)\n", util, link)
+			continue
+		}
+		// Streaming is rate-feasible; run the full decision for one
+		// second of data. Post-trigger physics reconstruction is
+		// compute-heavy (~50 TFLOP/GB) against a modest on-site farm vs
+		// a leadership-class remote allocation.
+		p := core.Params{
+			UnitSize:              units.ByteSize(rate.BytesPerSecond()),
+			ComplexityFLOPPerByte: core.ComplexityFLOPPerGB(50e12),
+			LocalRate:             20 * units.TeraFLOPS,
+			RemoteRate:            500 * units.TeraFLOPS,
+			Bandwidth:             link,
+			TransferRate:          units.ByteRate(0.8 * float64(link.ByteRate())),
+			Theta:                 1,
+		}
+		d, err := core.Decide(p, core.DecideOpts{GenerationRate: rate, Deadline: core.Tier2.Budget()})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  stream-feasible at %.0f%% of the link -> decision: %s\n", util*100, d.Choice)
+	}
+
+	fmt.Println("\nreading: the trigger chain is not optional — it is what moves the")
+	fmt.Println("workload from the 'structurally impossible' to the 'streamable' regime.")
+	fmt.Println("Remote HPC only enters the picture at the post-trigger boundary.")
+}

@@ -1,0 +1,114 @@
+// monitoring demonstrates the online measurement framework: a congestion
+// episode (light load → burst overload → recovery) is simulated on the
+// 25 Gbps bottleneck, and each completed transfer is fed into a windowed
+// worst-case tracker. Watch the Streaming Speed Score and the
+// operational regime shift in near-real time — this is the dashboard
+// signal a facility would alarm on before beam time is wasted.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/tcpsim"
+	"repro/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("monitoring: ")
+
+	cfg := tcpsim.DefaultConfig()
+
+	// A 30-second story: light load, then an 8-client/s overload burst
+	// between t=10 and t=16, then recovery.
+	var specs []tcpsim.FlowSpec
+	id := 0
+	addClient := func(at float64, flows int, size units.ByteSize) {
+		per := units.ByteSize(size.Bytes() / float64(flows))
+		for f := 0; f < flows; f++ {
+			specs = append(specs, tcpsim.FlowSpec{ID: id*1000 + f, Arrival: at, Size: per})
+		}
+		id++
+	}
+	for sec := 0; sec < 30; sec++ {
+		rate := 2 // light: 32% offered
+		if sec >= 10 && sec < 16 {
+			rate = 8 // burst: 128% offered
+		}
+		for k := 0; k < rate; k++ {
+			addClient(float64(sec), 8, 0.5*units.GB)
+		}
+	}
+
+	res, err := tcpsim.Run(cfg, specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Aggregate flows back into clients (max End per client).
+	type client struct{ spawn, end float64 }
+	byClient := map[int]*client{}
+	for _, f := range res.Flows {
+		c := byClient[f.ID/1000]
+		if c == nil {
+			c = &client{spawn: f.Arrival}
+			byClient[f.ID/1000] = c
+		}
+		if f.End > c.end {
+			c.end = f.End
+		}
+	}
+	clients := make([]*client, 0, len(byClient))
+	for _, c := range byClient {
+		clients = append(clients, c)
+	}
+	sort.Slice(clients, func(i, j int) bool { return clients[i].end < clients[j].end })
+
+	// Feed completions into a 10-second windowed tracker and snapshot
+	// once per second of simulation time.
+	tr, err := monitor.NewTracker(monitor.Config{
+		Window:    10 * time.Second,
+		Size:      0.5 * units.GB,
+		Bandwidth: cfg.Capacity,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("windowed (10 s) transfer monitoring on the simulated 25 Gbps link:")
+	fmt.Println("burst overload runs t=10s .. t=16s")
+	fmt.Println()
+	next := 0
+	for tick := 1.0; tick <= 40; tick++ {
+		for next < len(clients) && clients[next].end <= tick {
+			c := clients[next]
+			if err := tr.Observe(c.end, time.Duration((c.end-c.spawn)*float64(time.Second))); err != nil {
+				log.Fatal(err)
+			}
+			next++
+		}
+		if err := tr.Advance(tick); err != nil {
+			log.Fatal(err)
+		}
+		snap, err := tr.Snapshot()
+		if err != nil {
+			continue // quiet window
+		}
+		marker := ""
+		switch {
+		case snap.SSS > 20:
+			marker = "  <-- ALARM: severe congestion"
+		case snap.SSS > 8:
+			marker = "  <-- warning"
+		}
+		fmt.Printf("%s%s\n", snap, marker)
+		if next >= len(clients) && tr.Len() == 0 {
+			break
+		}
+	}
+	fmt.Println("\nreading: the tracker flags the regime change within seconds of the burst,")
+	fmt.Println("and the score recovers as the congested completions age out of the window.")
+}

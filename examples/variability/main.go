@@ -1,0 +1,89 @@
+// variability demonstrates the reproduction's future-work extensions:
+// deciding under a *measured distribution* of transfer times rather than
+// a single average rate, and the streaming-pipeline concurrency model.
+//
+// It measures a congested cell of the paper's Table 2 sweep, feeds the
+// per-client completion-time population into the decision model, and
+// shows how the median-case and worst-case answers diverge — then checks
+// what a continuous 1 Hz stream of units would need.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/tcpsim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("variability: ")
+
+	// Measure one congested cell: 96% offered load, simultaneous bursts.
+	e := workload.Experiment{
+		Duration:      8 * time.Second,
+		Concurrency:   6,
+		ParallelFlows: 8,
+		TransferSize:  0.5 * units.GB,
+		Strategy:      workload.SpawnSimultaneous,
+		Net:           tcpsim.DefaultConfig(),
+	}
+	res, err := workload.Run(e)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fcts := stats.NewSample()
+	for _, c := range res.Clients {
+		fcts.Add(c.TransferTime())
+	}
+	sm, err := fcts.Summarize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measured %d transfers at %.0f%% offered load: %s\n\n",
+		fcts.Len(), e.OfferedLoad()*100, sm)
+
+	// The §5 coherent-scattering workload, Tier 2 deadline.
+	p := core.Params{
+		UnitSize:              2 * units.GB,
+		ComplexityFLOPPerByte: core.ComplexityFLOPPerGB(17e12),
+		LocalRate:             5 * units.TeraFLOPS,
+		RemoteRate:            100 * units.TeraFLOPS,
+		Bandwidth:             25 * units.Gbps,
+		TransferRate:          2 * units.GBps,
+		Theta:                 1,
+	}
+	rep, err := core.DecideUnderVariability(p, fcts, e.TransferSize, core.Tier2.Budget())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("decision under the measured transfer-time distribution:")
+	fmt.Printf("  P(remote wins)   = %.2f\n", rep.PRemoteWins)
+	fmt.Printf("  P(meets Tier 2)  = %.2f\n", rep.PMeetsDeadline)
+	fmt.Printf("  T_pct quantiles  : p50=%.2fs p90=%.2fs p99=%.2fs max=%.2fs\n",
+		rep.TPct.P50, rep.TPct.P90, rep.TPct.P99, rep.TPct.Max)
+	fmt.Printf("  median decision  : %s\n", rep.MedianChoice)
+	fmt.Printf("  worst decision   : %s\n", rep.WorstChoice)
+	if rep.Disagreement() {
+		fmt.Println("  => the answers DISAGREE; only the worst-case one is safe for real-time work.")
+	}
+
+	// Concurrency extension: a continuous 1 Hz stream of 2 GB units.
+	fmt.Println("\nstreaming-pipeline view (1 Hz cadence, 60 units):")
+	d, err := core.DecidePipeline(p, 60, time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  remote makespan %v vs local %v\n",
+		d.RemoteCompletion.Round(time.Millisecond), d.LocalCompletion.Round(time.Millisecond))
+	fmt.Printf("  remote keeps cadence: %v, local keeps cadence: %v\n", d.RemoteKeepsUp, d.LocalKeepsUp)
+	if lag, err := p.SteadyStateLag(time.Second); err == nil {
+		fmt.Printf("  steady-state result lag: %v\n", lag.Round(time.Millisecond))
+	}
+	fmt.Printf("  DECISION: %s — %s\n", d.Choice, d.Reason)
+}

@@ -1,0 +1,63 @@
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun executes every example binary end to end and checks
+// for its headline output line — the examples are deliverables, so they
+// must keep running, not just compiling.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples spawn go run; skipped in -short")
+	}
+	cases := []struct {
+		dir  string
+		want string // substring the output must contain
+	}{
+		{"quickstart", "worst-case decision"},
+		{"lcls2-feasibility", "Coherent Scattering"},
+		{"aps-tomography", "streaming reduction vs per-frame files"},
+		{"deleria-streaming", "congestion stress"},
+		{"variability", "streaming-pipeline view"},
+		{"monitoring", "regime=severe congestion"},
+		{"lhc-triggers", "CANNOT stream"},
+	}
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			t.Parallel()
+			ctxArgs := []string{"run", "./" + filepath.Join("examples", c.dir)}
+			cmd := exec.Command("go", ctxArgs...)
+			cmd.Dir = root
+			done := make(chan struct{})
+			var out []byte
+			var runErr error
+			go func() {
+				out, runErr = cmd.CombinedOutput()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(120 * time.Second):
+				_ = cmd.Process.Kill()
+				t.Fatalf("example %s timed out", c.dir)
+			}
+			if runErr != nil {
+				t.Fatalf("example %s failed: %v\n%s", c.dir, runErr, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Fatalf("example %s output missing %q:\n%s", c.dir, c.want, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/units"
+)
+
+// DelayComponents is the Kurose–Ross per-packet delay decomposition the
+// paper quotes as Eq. 1:
+//
+//	d_total = d_proc + d_queue + d_trans + d_prop
+//
+// It is included as the *baseline* the paper critiques: prior work
+// simplifies d_total ≈ d_prop by assuming infinite capacity and empty
+// queues, which is exactly the optimal-case bias that breaks
+// time-sensitive streaming decisions.
+type DelayComponents struct {
+	Processing   time.Duration // d_proc: per-hop header processing
+	Queueing     time.Duration // d_queue: time waiting in router buffers
+	Transmission time.Duration // d_trans: L/R serialization delay
+	Propagation  time.Duration // d_prop: physical path latency
+}
+
+// Total returns d_total (Eq. 1).
+func (d DelayComponents) Total() time.Duration {
+	return d.Processing + d.Queueing + d.Transmission + d.Propagation
+}
+
+// ContinuumApprox returns the continuum-paper simplification (Eq. 2):
+// d_continuum ≈ d_prop.
+func (d DelayComponents) ContinuumApprox() time.Duration {
+	return d.Propagation
+}
+
+// UnderestimationFactor returns how many times larger the true total
+// delay is than the continuum approximation, Total/Prop. A factor of 1
+// means the approximation is exact; congestion pushes it far above 1.
+func (d DelayComponents) UnderestimationFactor() float64 {
+	prop := d.Propagation.Seconds()
+	tot := d.Total().Seconds()
+	if prop <= 0 {
+		if tot <= 0 {
+			return 1
+		}
+		return float64(d.Total()) // effectively infinite; scaled sentinel
+	}
+	return tot / prop
+}
+
+// TransmissionDelay returns d_trans = L/R for a packet of the given size
+// on a link of the given rate.
+func TransmissionDelay(packet units.ByteSize, link units.BitRate) time.Duration {
+	if link <= 0 {
+		return 0
+	}
+	return units.Seconds(packet.Bits() / link.BitsPerSecond())
+}
+
+// ContinuumTransferEstimate is the whole-transfer analogue of Eq. 2: the
+// flow completion time a continuum-style analysis would predict for a
+// transfer — one propagation delay plus pure serialization at full link
+// rate, no queueing, no losses, no protocol dynamics.
+func ContinuumTransferEstimate(size units.ByteSize, link units.BitRate, propagation time.Duration) time.Duration {
+	return propagation + TransmissionDelay(size, link)
+}
+
+// ContinuumError compares a continuum estimate against a measured (or
+// simulated) worst-case completion time, returning measured/estimate.
+// This is the quantity behind DESIGN.md ablation #4: how badly the
+// baseline underestimates congested transfers.
+func ContinuumError(measuredWorst time.Duration, size units.ByteSize, link units.BitRate, propagation time.Duration) float64 {
+	est := ContinuumTransferEstimate(size, link, propagation).Seconds()
+	if est <= 0 {
+		return 0
+	}
+	return measuredWorst.Seconds() / est
+}

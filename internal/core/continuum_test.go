@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+func TestDelayDecomposition(t *testing.T) {
+	d := DelayComponents{
+		Processing:   10 * time.Microsecond,
+		Queueing:     3 * time.Millisecond,
+		Transmission: 500 * time.Microsecond,
+		Propagation:  8 * time.Millisecond,
+	}
+	if got := d.Total(); got != 11510*time.Microsecond {
+		t.Fatalf("Total = %v", got)
+	}
+	if got := d.ContinuumApprox(); got != 8*time.Millisecond {
+		t.Fatalf("ContinuumApprox = %v", got)
+	}
+	f := d.UnderestimationFactor()
+	if math.Abs(f-11510.0/8000.0) > 1e-9 {
+		t.Fatalf("factor = %v", f)
+	}
+}
+
+func TestUnderestimationDegenerate(t *testing.T) {
+	var zero DelayComponents
+	if zero.UnderestimationFactor() != 1 {
+		t.Error("all-zero should be exactly 1")
+	}
+	noProp := DelayComponents{Queueing: time.Second}
+	if noProp.UnderestimationFactor() <= 1 {
+		t.Error("no-propagation case should blow up")
+	}
+}
+
+func TestTransmissionDelay(t *testing.T) {
+	// A 9000-byte jumbo frame on 25 Gbps: 72000 bits / 25e9 = 2.88 us.
+	got := TransmissionDelay(9000*units.Byte, 25*units.Gbps)
+	if got != 2880*time.Nanosecond {
+		t.Fatalf("got %v", got)
+	}
+	if TransmissionDelay(units.GB, 0) != 0 {
+		t.Error("zero link should yield 0")
+	}
+}
+
+func TestContinuumTransferEstimate(t *testing.T) {
+	// 0.5 GB over 25 Gbps with 8 ms one-way propagation: 0.168 s.
+	got := ContinuumTransferEstimate(0.5*units.GB, 25*units.Gbps, 8*time.Millisecond)
+	if !almostEq(got, 168*time.Millisecond, time.Microsecond) {
+		t.Fatalf("estimate = %v", got)
+	}
+}
+
+func TestContinuumErrorUnderCongestion(t *testing.T) {
+	// The paper's point: measured worst case exceeds 5 s while the
+	// continuum estimate stays at ~0.17 s — a ~30x underestimate.
+	ratio := ContinuumError(5*time.Second, 0.5*units.GB, 25*units.Gbps, 8*time.Millisecond)
+	if ratio < 25 || ratio > 35 {
+		t.Fatalf("continuum underestimation ratio = %v, want ~30", ratio)
+	}
+	if ContinuumError(time.Second, 0, 0, 0) != 0 {
+		t.Error("degenerate estimate should yield 0")
+	}
+}

@@ -1,0 +1,37 @@
+// Package core implements the paper's primary contribution: the
+// quantitative model for deciding whether time-sensitive scientific data
+// should be processed locally, staged to remote HPC as files, or streamed
+// directly into remote compute.
+//
+// The model (paper §3) compares
+//
+//	T_local = C·S_unit / R_local                        (Eq. 3)
+//
+// against the total processing completion time of the remote path
+//
+//	T_pct = θ·T_transfer + T_remote                      (Eq. 9)
+//	      = θ·S_unit/(α·Bw) + C·S_unit/(r·R_local)       (Eq. 10)
+//
+// over three core coefficients:
+//
+//   - α = R_transfer / Bw — transfer efficiency (how much of the raw link
+//     the application actually achieves),
+//   - r = R_remote / R_local — remote processing advantage,
+//   - θ = (T_IO + T_transfer)/T_transfer — file-I/O overhead; θ = 1 means
+//     pure memory-to-memory streaming, θ > 1 means a staged, file-based
+//     path pays extra I/O on top of the wire time.
+//
+// Package core also provides:
+//
+//   - the Streaming Speed Score (paper §4.1, Eq. 11),
+//     SSS = T_worst / T_theoretical, quantifying tail-latency inflation
+//     under congestion, plus SSSCurve for extrapolating worst-case
+//     transfer times from measured congestion sweeps;
+//   - latency tiers (paper §5): 1 s real-time, 10 s near-real-time,
+//     1 min quasi-real-time;
+//   - congestion regimes (paper §4.1): low / moderate / severe;
+//   - break-even solvers and sensitivity sweeps over α, r, θ, Bw;
+//   - the Kurose–Ross delay decomposition and the "continuum
+//     approximation" d_total ≈ d_prop (paper Eq. 1–2) as the baseline the
+//     paper argues is unsafe for streaming decisions.
+package core

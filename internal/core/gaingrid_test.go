@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGainGridShapeAndMonotonicity(t *testing.T) {
+	p := paperParams()
+	alphas := []float64{0.1, 0.5, 1.0}
+	rs := []float64{0.5, 2, 20}
+	grid, err := p.GainGrid(alphas, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != 3 || len(grid[0]) != 3 {
+		t.Fatalf("grid shape %dx%d", len(grid), len(grid[0]))
+	}
+	// Gain grows along both axes.
+	for i := range rs {
+		for j := 1; j < len(alphas); j++ {
+			if grid[i][j] < grid[i][j-1] {
+				t.Errorf("row %d not monotone in alpha: %v", i, grid[i])
+			}
+		}
+	}
+	for j := range alphas {
+		for i := 1; i < len(rs); i++ {
+			if grid[i][j] < grid[i-1][j] {
+				t.Errorf("col %d not monotone in r: %v", j, grid)
+			}
+		}
+	}
+	// The corners must straddle the frontier for the case-study
+	// parameters: slow corner loses, fast corner wins.
+	if grid[0][0] >= 1 {
+		t.Errorf("slow corner gain %v should lose", grid[0][0])
+	}
+	if grid[2][2] <= 1 {
+		t.Errorf("fast corner gain %v should win", grid[2][2])
+	}
+	// Each cell must agree with a direct evaluation.
+	want := p.WithAlpha(0.5).WithR(2).Gain()
+	if math.Abs(grid[1][1]-want) > 1e-12 {
+		t.Errorf("cell (1,1) = %v, want %v", grid[1][1], want)
+	}
+}
+
+func TestGainGridValidation(t *testing.T) {
+	p := paperParams()
+	if _, err := p.GainGrid(nil, []float64{1}); err == nil {
+		t.Error("empty alphas accepted")
+	}
+	if _, err := p.GainGrid([]float64{0.5}, nil); err == nil {
+		t.Error("empty rs accepted")
+	}
+	if _, err := p.GainGrid([]float64{0}, []float64{1}); err == nil {
+		t.Error("alpha 0 accepted")
+	}
+	if _, err := p.GainGrid([]float64{1.5}, []float64{1}); err == nil {
+		t.Error("alpha > 1 accepted")
+	}
+	if _, err := p.GainGrid([]float64{0.5}, []float64{-1}); err == nil {
+		t.Error("negative r accepted")
+	}
+	var bad Params
+	if _, err := bad.GainGrid([]float64{0.5}, []float64{1}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/units"
+)
+
+// This file implements the concurrency extension the paper defers to
+// future work ("extend the model to incorporate concurrency"): instead
+// of a single data unit, the instrument produces a continuous stream of
+// units, and the remote path pipelines — unit k+1 crosses the wire while
+// unit k is processed. The remote path becomes a two-stage pipeline with
+// stage times θ·T_transfer (move) and T_remote (compute); its throughput
+// is governed by the slower stage, while the single-unit T_pct governs
+// only the first result's latency.
+
+// ErrNeverOvertakes is returned when the remote pipeline can never beat
+// local processing regardless of how many units are amortized.
+var ErrNeverOvertakes = errors.New("core: remote pipeline never overtakes local processing")
+
+// ErrPipelineUnstable is returned when a pipeline stage is slower than
+// the generation cadence, so the backlog grows without bound.
+var ErrPipelineUnstable = errors.New("core: pipeline stage slower than generation interval")
+
+// PipelineStageTimes returns the two remote stage times: the staged
+// transfer (θ·T_transfer) and the remote compute (T_remote).
+func (p Params) PipelineStageTimes() (transfer, compute time.Duration) {
+	return units.Seconds(p.Theta * p.TTransfer().Seconds()), p.TRemote()
+}
+
+// PipelineBottleneck returns the slower remote stage — the pipeline's
+// cycle time. Remote throughput is 1/bottleneck units per second.
+func (p Params) PipelineBottleneck() time.Duration {
+	tr, cp := p.PipelineStageTimes()
+	if tr > cp {
+		return tr
+	}
+	return cp
+}
+
+// PipelineCompletion returns the completion time of n units on the
+// remote pipeline: first unit pays full latency θ·T_transfer + T_remote,
+// each further unit adds one bottleneck cycle.
+func (p Params) PipelineCompletion(n int) (time.Duration, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("core: pipeline needs n >= 1, got %d", n)
+	}
+	first := p.TPct()
+	cycle := p.PipelineBottleneck()
+	return first + time.Duration(n-1)*cycle, nil
+}
+
+// LocalCompletion returns the completion time of n units locally
+// (sequential: n·T_local).
+func (p Params) LocalCompletion(n int) (time.Duration, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("core: local completion needs n >= 1, got %d", n)
+	}
+	return time.Duration(n) * p.TLocal(), nil
+}
+
+// PipelineBreakEvenUnits returns the smallest number of units at which
+// the remote pipeline's completion beats local processing. Even when a
+// single unit loses (T_pct > T_local), a faster pipeline cycle can win
+// after amortizing the first unit's latency. ErrNeverOvertakes is
+// returned when the cycle time is >= T_local.
+func (p Params) PipelineBreakEvenUnits() (int, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	tl := p.TLocal().Seconds()
+	cycle := p.PipelineBottleneck().Seconds()
+	first := p.TPct().Seconds()
+	if first < tl {
+		return 1, nil // remote wins from the first unit
+	}
+	if cycle >= tl {
+		return 0, fmt.Errorf("%w (cycle %.3gs >= T_local %.3gs)", ErrNeverOvertakes, cycle, tl)
+	}
+	// first + (n-1)*cycle < n*tl  =>  n > (first - cycle)/(tl - cycle).
+	n := (first - cycle) / (tl - cycle)
+	k := int(math.Floor(n)) + 1
+	if k < 1 {
+		k = 1
+	}
+	return k, nil
+}
+
+// SteadyStateLag returns how far behind generation each result sits once
+// the pipeline is warm, for units produced every interval: the full
+// single-unit latency θ·T_transfer + T_remote. ErrPipelineUnstable is
+// returned when either stage is slower than the interval (backlog grows
+// and the lag diverges).
+func (p Params) SteadyStateLag(interval time.Duration) (time.Duration, error) {
+	if interval <= 0 {
+		return 0, fmt.Errorf("core: interval must be > 0, got %v", interval)
+	}
+	if p.PipelineBottleneck() > interval {
+		return 0, fmt.Errorf("%w (bottleneck %v > interval %v)",
+			ErrPipelineUnstable, p.PipelineBottleneck(), interval)
+	}
+	return p.TPct(), nil
+}
+
+// LocalSteadyStateOK reports whether local processing can keep up with
+// the generation cadence (T_local <= interval).
+func (p Params) LocalSteadyStateOK(interval time.Duration) bool {
+	return interval > 0 && p.TLocal() <= interval
+}
+
+// PipelineDecision compares local vs remote for a continuous run of n
+// units at the given cadence, extending Decide to the streaming-pipeline
+// regime.
+type PipelineDecision struct {
+	Choice Choice
+	// RemoteCompletion and LocalCompletion are the n-unit makespans.
+	RemoteCompletion time.Duration
+	LocalCompletion  time.Duration
+	// BreakEvenUnits is the amortization point (0 when remote never wins).
+	BreakEvenUnits int
+	// RemoteKeepsUp / LocalKeepsUp report cadence sustainability.
+	RemoteKeepsUp bool
+	LocalKeepsUp  bool
+	// Reason explains the outcome.
+	Reason string
+}
+
+// DecidePipeline runs the concurrency-extended decision for n units
+// produced every interval.
+func DecidePipeline(p Params, n int, interval time.Duration) (PipelineDecision, error) {
+	if err := p.Validate(); err != nil {
+		return PipelineDecision{}, fmt.Errorf("%w: %v", ErrInvalidParams, err)
+	}
+	if n <= 0 {
+		return PipelineDecision{}, fmt.Errorf("core: n must be >= 1, got %d", n)
+	}
+	if interval <= 0 {
+		return PipelineDecision{}, fmt.Errorf("core: interval must be > 0, got %v", interval)
+	}
+	var d PipelineDecision
+	rc, err := p.PipelineCompletion(n)
+	if err != nil {
+		return d, err
+	}
+	lc, err := p.LocalCompletion(n)
+	if err != nil {
+		return d, err
+	}
+	d.RemoteCompletion = rc
+	d.LocalCompletion = lc
+	if k, err := p.PipelineBreakEvenUnits(); err == nil {
+		d.BreakEvenUnits = k
+	}
+	d.RemoteKeepsUp = p.PipelineBottleneck() <= interval
+	d.LocalKeepsUp = p.LocalSteadyStateOK(interval)
+
+	switch {
+	case d.RemoteKeepsUp && !d.LocalKeepsUp:
+		d.Choice = ChooseRemote
+		d.Reason = fmt.Sprintf("only the remote pipeline sustains the %v cadence (cycle %v, local %v)",
+			interval, p.PipelineBottleneck(), p.TLocal())
+	case !d.RemoteKeepsUp && d.LocalKeepsUp:
+		d.Choice = ChooseLocal
+		d.Reason = fmt.Sprintf("only local processing sustains the %v cadence (local %v, remote cycle %v)",
+			interval, p.TLocal(), p.PipelineBottleneck())
+	case !d.RemoteKeepsUp && !d.LocalKeepsUp:
+		d.Choice = ChooseInfeasible
+		d.Reason = fmt.Sprintf("neither path sustains the %v cadence (local %v, remote cycle %v)",
+			interval, p.TLocal(), p.PipelineBottleneck())
+	case rc < lc:
+		d.Choice = ChooseRemote
+		d.Reason = fmt.Sprintf("remote pipeline finishes %d units in %v vs local %v (break-even at %d units)",
+			n, rc.Round(time.Millisecond), lc.Round(time.Millisecond), d.BreakEvenUnits)
+	default:
+		d.Choice = ChooseLocal
+		d.Reason = fmt.Sprintf("local finishes %d units in %v vs remote %v", n, lc.Round(time.Millisecond), rc.Round(time.Millisecond))
+	}
+	return d, nil
+}

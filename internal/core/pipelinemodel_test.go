@@ -1,0 +1,195 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+func TestPipelineStageTimes(t *testing.T) {
+	p := paperParams().WithTheta(2)
+	tr, cp := p.PipelineStageTimes()
+	if !almostEq(tr, 2*time.Second, time.Microsecond) {
+		t.Errorf("transfer stage = %v", tr)
+	}
+	if !almostEq(cp, 340*time.Millisecond, time.Microsecond) {
+		t.Errorf("compute stage = %v", cp)
+	}
+	if p.PipelineBottleneck() != tr {
+		t.Errorf("bottleneck should be the transfer stage")
+	}
+	// Compute-bound variant.
+	q := paperParams().WithR(2) // T_remote = 3.4 s > T_transfer = 1 s
+	if q.PipelineBottleneck() != q.TRemote() {
+		t.Errorf("bottleneck should be the compute stage")
+	}
+}
+
+func TestPipelineCompletion(t *testing.T) {
+	p := paperParams() // Tt = 1 s, Tr = 0.34 s, cycle = 1 s, first = 1.34 s
+	c1, err := p.PipelineCompletion(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != p.TPct() {
+		t.Errorf("n=1 completion %v != TPct %v", c1, p.TPct())
+	}
+	c10, err := p.PipelineCompletion(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.TPct() + 9*p.PipelineBottleneck()
+	if c10 != want {
+		t.Errorf("n=10 completion = %v, want %v", c10, want)
+	}
+	if _, err := p.PipelineCompletion(0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestLocalCompletion(t *testing.T) {
+	p := paperParams()
+	c, err := p.LocalCompletion(5)
+	if err != nil || c != 5*p.TLocal() {
+		t.Fatalf("local completion = %v, %v", c, err)
+	}
+	if _, err := p.LocalCompletion(-1); err == nil {
+		t.Error("negative n accepted")
+	}
+}
+
+func TestPipelineBreakEvenImmediate(t *testing.T) {
+	// Remote already faster per unit: break-even at 1.
+	p := paperParams()
+	k, err := p.PipelineBreakEvenUnits()
+	if err != nil || k != 1 {
+		t.Fatalf("break-even = %d, %v", k, err)
+	}
+}
+
+func TestPipelineBreakEvenAmortized(t *testing.T) {
+	// Make the single unit lose but the cycle win: slow transfer, very
+	// fast remote compute.
+	p := paperParams()
+	p.LocalRate = 30 * units.TeraFLOPS
+	// T_local = 34/30 = 1.133 s; T_pct = 1 + 34/100 = 1.34 s (loses);
+	// cycle = max(1, 0.34) = 1 s (wins). Break-even:
+	// n > (1.34-1)/(1.1333-1) = 2.55 -> n = 3.
+	k, err := p.PipelineBreakEvenUnits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 3 {
+		t.Fatalf("break-even = %d, want 3", k)
+	}
+	// Verify the boundary: at k units remote wins, at k-1 it does not.
+	rc, _ := p.PipelineCompletion(k)
+	lc, _ := p.LocalCompletion(k)
+	if rc >= lc {
+		t.Errorf("at break-even remote %v should beat local %v", rc, lc)
+	}
+	rcPrev, _ := p.PipelineCompletion(k - 1)
+	lcPrev, _ := p.LocalCompletion(k - 1)
+	if rcPrev < lcPrev {
+		t.Errorf("below break-even remote %v should lose to local %v", rcPrev, lcPrev)
+	}
+}
+
+func TestPipelineNeverOvertakes(t *testing.T) {
+	// Cycle slower than local: never.
+	p := paperParams().WithAlpha(0.05) // Tt = 2GB/0.15625GBps = 12.8 s > Tl 6.8 s
+	_, err := p.PipelineBreakEvenUnits()
+	if !errors.Is(err, ErrNeverOvertakes) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSteadyStateLag(t *testing.T) {
+	p := paperParams() // cycle 1 s
+	lag, err := p.SteadyStateLag(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lag != p.TPct() {
+		t.Errorf("lag = %v, want TPct %v", lag, p.TPct())
+	}
+	if _, err := p.SteadyStateLag(500 * time.Millisecond); !errors.Is(err, ErrPipelineUnstable) {
+		t.Errorf("sub-cycle interval err = %v", err)
+	}
+	if _, err := p.SteadyStateLag(0); err == nil {
+		t.Error("zero interval accepted")
+	}
+}
+
+func TestLocalSteadyStateOK(t *testing.T) {
+	p := paperParams() // T_local 6.8 s
+	if p.LocalSteadyStateOK(time.Second) {
+		t.Error("local cannot keep up with 1 s cadence")
+	}
+	if !p.LocalSteadyStateOK(10 * time.Second) {
+		t.Error("local should keep up with 10 s cadence")
+	}
+	if p.LocalSteadyStateOK(0) {
+		t.Error("zero interval should be false")
+	}
+}
+
+func TestDecidePipelineOutcomes(t *testing.T) {
+	p := paperParams() // remote cycle 1 s, local 6.8 s
+
+	// 1 s cadence: only remote keeps up.
+	d, err := DecidePipeline(p, 100, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Choice != ChooseRemote || !d.RemoteKeepsUp || d.LocalKeepsUp {
+		t.Fatalf("cadence decision: %+v", d)
+	}
+
+	// Generous cadence (1 min): both keep up; remote wins on makespan.
+	d, err = DecidePipeline(p, 100, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Choice != ChooseRemote || d.BreakEvenUnits != 1 {
+		t.Fatalf("makespan decision: %+v", d)
+	}
+
+	// Choke the link so neither keeps a 100 ms cadence.
+	q := p.WithAlpha(0.05)
+	d, err = DecidePipeline(q, 10, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Choice != ChooseInfeasible {
+		t.Fatalf("infeasible cadence: %+v", d)
+	}
+
+	// Local-only cadence: fast local, slow remote cycle.
+	fastLocal := paperParams()
+	fastLocal.LocalRate = 200 * units.TeraFLOPS // T_local = 0.17 s
+	fastLocal = fastLocal.WithAlpha(0.1)
+	d, err = DecidePipeline(fastLocal, 10, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Choice != ChooseLocal || !d.LocalKeepsUp || d.RemoteKeepsUp {
+		t.Fatalf("local-only cadence: %+v", d)
+	}
+}
+
+func TestDecidePipelineValidation(t *testing.T) {
+	var bad Params
+	if _, err := DecidePipeline(bad, 1, time.Second); err == nil {
+		t.Error("invalid params accepted")
+	}
+	p := paperParams()
+	if _, err := DecidePipeline(p, 0, time.Second); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := DecidePipeline(p, 1, 0); err == nil {
+		t.Error("zero interval accepted")
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// This file implements the variability extension the paper defers to
+// future work ("variability in network and compute performance"): rather
+// than deciding on a single effective transfer rate, the decision is
+// evaluated against an *empirical distribution* of measured transfer
+// times (e.g. the per-client FCT population from a congestion sweep).
+// Each observation yields an effective rate, hence a T_pct; the report
+// gives the probability the remote path wins and meets its deadline,
+// plus completion-time quantiles. No distributional assumptions — the
+// whole point of the paper is that tails are not exponentialish.
+
+// ErrEmptySample is returned when the FCT sample has no observations.
+var ErrEmptySample = errors.New("core: empty transfer-time sample")
+
+// UncertaintyReport summarizes the decision across the measured
+// transfer-time distribution.
+type UncertaintyReport struct {
+	// N is the number of observations evaluated.
+	N int
+	// PRemoteWins is the fraction of observations where T_pct < T_local.
+	PRemoteWins float64
+	// PMeetsDeadline is the fraction where T_pct fits the deadline
+	// (1.0 when no deadline was supplied).
+	PMeetsDeadline float64
+	// TPct summarizes the completion-time distribution (seconds).
+	TPct stats.Summary
+	// WorstChoice is the decision at the worst observed transfer time —
+	// the paper's recommended design point.
+	WorstChoice Choice
+	// MedianChoice is the decision at the median — the average-case
+	// answer a throughput-oriented analysis would give.
+	MedianChoice Choice
+}
+
+// Disagreement reports whether the worst-case and median decisions
+// differ — the failure mode the paper warns about.
+func (r UncertaintyReport) Disagreement() bool { return r.WorstChoice != r.MedianChoice }
+
+// DecideUnderVariability evaluates the model against an empirical sample
+// of transfer times measured for transfers of measuredSize (the sweep's
+// 0.5 GB clients). Each observed FCT f implies an effective rate
+// measuredSize/f, which scales to the model's unit transfer. A zero
+// deadline means "no deadline".
+func DecideUnderVariability(p Params, fctSeconds *stats.Sample, measuredSize units.ByteSize, deadline time.Duration) (UncertaintyReport, error) {
+	if err := p.Validate(); err != nil {
+		return UncertaintyReport{}, fmt.Errorf("%w: %v", ErrInvalidParams, err)
+	}
+	if fctSeconds == nil || fctSeconds.Len() == 0 {
+		return UncertaintyReport{}, ErrEmptySample
+	}
+	if measuredSize <= 0 {
+		return UncertaintyReport{}, fmt.Errorf("core: measured size must be > 0, got %v", measuredSize)
+	}
+
+	tl := p.TLocal().Seconds()
+	tpcts := stats.NewSample()
+	wins, meets := 0, 0
+	for _, f := range fctSeconds.Values() {
+		if f <= 0 {
+			continue
+		}
+		rate := units.ByteRate(measuredSize.Bytes() / f)
+		// Effective rate cannot exceed the link.
+		if float64(rate) > float64(p.Bandwidth.ByteRate()) {
+			rate = p.Bandwidth.ByteRate()
+		}
+		q := p
+		q.TransferRate = rate
+		tpct := q.TPct().Seconds()
+		tpcts.Add(tpct)
+		if tpct < tl {
+			wins++
+		}
+		if deadline <= 0 || tpct <= deadline.Seconds() {
+			meets++
+		}
+	}
+	if tpcts.Len() == 0 {
+		return UncertaintyReport{}, fmt.Errorf("%w (all observations non-positive)", ErrEmptySample)
+	}
+
+	summary, err := tpcts.Summarize()
+	if err != nil {
+		return UncertaintyReport{}, err
+	}
+	n := tpcts.Len()
+	report := UncertaintyReport{
+		N:              n,
+		PRemoteWins:    float64(wins) / float64(n),
+		PMeetsDeadline: float64(meets) / float64(n),
+		TPct:           summary,
+	}
+	report.WorstChoice = choiceAt(summary.Max, tl, deadline)
+	report.MedianChoice = choiceAt(summary.P50, tl, deadline)
+	return report, nil
+}
+
+// choiceAt maps one T_pct observation to a decision against T_local and
+// an optional deadline.
+func choiceAt(tpct, tlocal float64, deadline time.Duration) Choice {
+	remoteWins := tpct < tlocal
+	if deadline > 0 {
+		d := deadline.Seconds()
+		switch {
+		case remoteWins && tpct <= d:
+			return ChooseRemote
+		case tlocal <= d:
+			return ChooseLocal
+		case tpct <= d:
+			return ChooseRemote
+		default:
+			return ChooseInfeasible
+		}
+	}
+	if remoteWins {
+		return ChooseRemote
+	}
+	return ChooseLocal
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadHeatmap(t *testing.T) {
+	res := quickFig2a(t)
+	a, err := LoadHeatmap(res.Sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != "ext-heatmap" {
+		t.Errorf("id = %s", a.ID)
+	}
+	for _, want := range []string{"P=2", "P=8", "c=1", "c=8", "scale:"} {
+		if !strings.Contains(a.Text, want) {
+			t.Errorf("heat map missing %q:\n%s", want, a.Text)
+		}
+	}
+	if !strings.Contains(a.CSV, "P\\concurrency") {
+		t.Errorf("csv header missing:\n%s", a.CSV)
+	}
+	if _, err := LoadHeatmap(nil); err == nil {
+		t.Error("nil sweep accepted")
+	}
+}
+
+func TestVariabilityReport(t *testing.T) {
+	res := quickFig2a(t)
+	a, err := VariabilityReport(res.Sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != "ext-variability" {
+		t.Errorf("id = %s", a.ID)
+	}
+	for _, want := range []string{"P(remote wins)", "P(meets Tier 2)", "median-case decision", "worst-case decision"} {
+		if !strings.Contains(a.Text, want) {
+			t.Errorf("report missing %q:\n%s", want, a.Text)
+		}
+	}
+	// The selected cell must be the highest stable load (96% in the
+	// quick sweep's axes).
+	if !strings.Contains(a.Text, "offered=96%") {
+		t.Errorf("wrong cell selected:\n%s", a.Text)
+	}
+	if _, err := VariabilityReport(nil); err == nil {
+		t.Error("nil sweep accepted")
+	}
+}
+
+func TestGainMap(t *testing.T) {
+	a, err := GainMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != "ext-gainmap" {
+		t.Errorf("id = %s", a.ID)
+	}
+	for _, want := range []string{"r=20", "a=0.1", "scale:", "G>1"} {
+		if !strings.Contains(a.Text, want) {
+			t.Errorf("gain map missing %q:\n%s", want, a.Text)
+		}
+	}
+	if !strings.Contains(a.CSV, "r\\alpha") {
+		t.Errorf("csv header:\n%s", a.CSV)
+	}
+}
+
+func TestGainGridFrontier(t *testing.T) {
+	// The grid must contain both losing (G<1) and winning (G>1) corners
+	// for the case-study workload: slow link + slow remote loses, fast
+	// link + fast remote wins.
+	a, err := GainMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a.CSV, "0.3") { // some sub-1 gain present
+		t.Logf("csv:\n%s", a.CSV)
+	}
+}
+
+func TestPipelineReport(t *testing.T) {
+	a, err := PipelineReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != "ext-pipeline" {
+		t.Errorf("id = %s", a.ID)
+	}
+	for _, want := range []string{"cycle 1s", "DECISION: remote", "steady-state result lag"} {
+		if !strings.Contains(a.Text, want) {
+			t.Errorf("report missing %q:\n%s", want, a.Text)
+		}
+	}
+	// The §5 workload: only the remote pipeline sustains the 1 Hz
+	// cadence (T_local = 6.8 s per unit).
+	if !strings.Contains(a.Text, "remote keeps 1 Hz cadence: true; local keeps cadence: false") {
+		t.Errorf("cadence analysis wrong:\n%s", a.Text)
+	}
+}

@@ -1,0 +1,100 @@
+package facility
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestTable3Values(t *testing.T) {
+	rows := LCLS2Workflows()
+	if len(rows) != 2 {
+		t.Fatalf("Table 3 has %d rows", len(rows))
+	}
+	cs := rows[0]
+	if cs.Throughput != 2*units.GBps || cs.Compute != 34*units.TeraFLOPS {
+		t.Errorf("coherent scattering: %v, %v", cs.Throughput, cs.Compute)
+	}
+	ls := rows[1]
+	if ls.Throughput != 4*units.GBps || ls.Compute != 20*units.TeraFLOPS {
+		t.Errorf("liquid scattering: %v, %v", ls.Throughput, ls.Compute)
+	}
+}
+
+func TestWorkflowDerived(t *testing.T) {
+	w := LCLS2CoherentScattering()
+	// One second of data at 2 GB/s is a 2 GB unit.
+	if got := w.UnitSize(); got != 2*units.GB {
+		t.Errorf("UnitSize = %v", got)
+	}
+	// 34 TFLOP over 2 GB = 17,000 FLOP per byte.
+	if got := w.ComplexityFLOPPerByte(); math.Abs(got-17000) > 1e-9 {
+		t.Errorf("complexity = %v", got)
+	}
+	if s := w.String(); !strings.Contains(s, "LCLS-II") || !strings.Contains(s, "34.00 TFLOPS") {
+		t.Errorf("String = %q", s)
+	}
+	var zero Workflow
+	if zero.ComplexityFLOPPerByte() != 0 {
+		t.Error("zero workflow should have zero complexity")
+	}
+}
+
+func TestInstrumentReduction(t *testing.T) {
+	// The LHC preset must preserve the paper's dramatic reduction:
+	// 40 TB/s -> 1 GB/s = 40,000x.
+	lhc := LHC()
+	if got := lhc.ReductionFactor(); math.Abs(got-40000) > 1 {
+		t.Errorf("LHC reduction = %v", got)
+	}
+	// FRIB: 40 Gbps = 5 GB/s raw -> 240 MB/s is a 97.5% reduction + a bit.
+	frib := FRIB()
+	reduction := 1 - 1/frib.ReductionFactor()
+	if reduction < 0.95 || reduction > 0.99 {
+		t.Errorf("FRIB reduction fraction = %v, want ~0.975", reduction)
+	}
+	var empty Instrument
+	if empty.ReductionFactor() != 0 {
+		t.Error("undefined reduction should be 0")
+	}
+}
+
+func TestInstrumentsComplete(t *testing.T) {
+	all := Instruments()
+	if len(all) != 4 {
+		t.Fatalf("presets = %d, want 4 (§2.2)", len(all))
+	}
+	names := map[string]bool{}
+	for _, i := range all {
+		if i.Name == "" || i.RawRate <= 0 || i.Link <= 0 {
+			t.Errorf("incomplete preset: %+v", i)
+		}
+		names[i.Name] = true
+	}
+	for _, want := range []string{"LHC (ATLAS/CMS)", "LCLS-II", "APS", "FRIB (DELERIA)"} {
+		if !names[want] {
+			t.Errorf("missing preset %q", want)
+		}
+	}
+}
+
+func TestAPSFrameMatchesFig4(t *testing.T) {
+	aps := APS()
+	if aps.FrameSize != 2048*2048*2*units.Byte {
+		t.Errorf("frame size = %v", aps.FrameSize)
+	}
+	if aps.FrameInterval.Seconds() != 0.033 {
+		t.Errorf("frame interval = %v", aps.FrameInterval)
+	}
+}
+
+func TestDELERIAPerProcess(t *testing.T) {
+	// 240 MB/s over 100 processes = 2.4 MB/s per process — the paper's
+	// "roughly 2 MB/s per compute process".
+	got := DELERIAPerProcessRate().BytesPerSecond()
+	if math.Abs(got-2.4e6) > 1 {
+		t.Errorf("per process = %v", got)
+	}
+}

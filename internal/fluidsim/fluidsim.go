@@ -1,0 +1,172 @@
+// Package fluidsim is the baseline network model the TCP simulator is
+// compared against (DESIGN.md ablation #1): ideal max-min fair
+// processor sharing of a single bottleneck, with no slow start, no
+// queueing, and no losses.
+//
+// On a single shared link max-min fairness reduces to an equal split
+// among active flows, so the simulation is an exact event-driven
+// computation, not an approximation of the fluid model itself. The
+// fluid model *underestimates* completion times under burst overload —
+// which is precisely the paper's critique of optimal-case analyses.
+package fluidsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/units"
+)
+
+// Flow describes one transfer.
+type Flow struct {
+	ID      int
+	Arrival float64 // seconds
+	Size    units.ByteSize
+}
+
+// Result reports one completed transfer.
+type Result struct {
+	ID      int
+	Arrival float64
+	End     float64
+	Bytes   float64
+}
+
+// Duration returns the flow completion time in seconds.
+func (r Result) Duration() float64 { return r.End - r.Arrival }
+
+// Errors.
+var (
+	ErrNoFlows  = errors.New("fluidsim: no flows to simulate")
+	ErrBadFlow  = errors.New("fluidsim: invalid flow")
+	ErrCapacity = errors.New("fluidsim: capacity must be > 0")
+)
+
+// Run computes exact processor-sharing completion times for the flows on
+// a link of the given capacity.
+func Run(capacity units.BitRate, flows []Flow) ([]Result, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("%w, got %v", ErrCapacity, capacity)
+	}
+	if len(flows) == 0 {
+		return nil, ErrNoFlows
+	}
+	for _, f := range flows {
+		if f.Size < 0 || f.Arrival < 0 || math.IsNaN(f.Arrival) || math.IsInf(f.Arrival, 0) {
+			return nil, fmt.Errorf("%w: id=%d arrival=%v size=%v", ErrBadFlow, f.ID, f.Arrival, f.Size)
+		}
+	}
+
+	cap := capacity.ByteRate().BytesPerSecond()
+
+	type state struct {
+		f         Flow
+		remaining float64
+	}
+	pending := make([]*state, 0, len(flows))
+	for _, f := range flows {
+		pending = append(pending, &state{f: f, remaining: f.Size.Bytes()})
+	}
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].f.Arrival < pending[j].f.Arrival })
+
+	results := make([]Result, 0, len(flows))
+	active := make([]*state, 0, len(flows))
+	next := 0
+	t := pending[0].f.Arrival
+
+	finish := func(s *state, at float64) {
+		results = append(results, Result{ID: s.f.ID, Arrival: s.f.Arrival, End: at, Bytes: s.f.Size.Bytes()})
+	}
+
+	admit := func(now float64) {
+		for next < len(pending) && pending[next].f.Arrival <= now {
+			s := pending[next]
+			next++
+			if s.remaining <= 0 {
+				finish(s, s.f.Arrival)
+				continue
+			}
+			active = append(active, s)
+		}
+	}
+	admit(t)
+
+	// eps is half a byte: no physical transfer resolves below one byte,
+	// and it comfortably swallows float64 subtraction residue, which
+	// would otherwise stall the event loop (a residual so small that
+	// t + residual/share rounds back to t).
+	const eps = 0.5
+	for len(active) > 0 || next < len(pending) {
+		if len(active) == 0 {
+			t = pending[next].f.Arrival
+			admit(t)
+			continue
+		}
+		share := cap / float64(len(active))
+		// Earliest finish among active flows at the current share.
+		minRem := math.Inf(1)
+		for _, s := range active {
+			if s.remaining < minRem {
+				minRem = s.remaining
+			}
+		}
+		finishAt := t + minRem/share
+		nextArrival := math.Inf(1)
+		if next < len(pending) {
+			nextArrival = pending[next].f.Arrival
+		}
+		until := math.Min(finishAt, nextArrival)
+		if until <= t {
+			// Time cannot advance (sub-ULP residue): force-complete the
+			// flows that are effectively done so the loop makes progress.
+			keep := active[:0]
+			for _, s := range active {
+				if s.remaining <= minRem+eps {
+					finish(s, t)
+				} else {
+					keep = append(keep, s)
+				}
+			}
+			active = keep
+			admit(t)
+			continue
+		}
+		dt := until - t
+		// Progress all flows by share*dt.
+		progressed := share * dt
+		keep := active[:0]
+		for _, s := range active {
+			s.remaining -= progressed
+			if s.remaining <= eps {
+				finish(s, until)
+			} else {
+				keep = append(keep, s)
+			}
+		}
+		active = keep
+		t = until
+		admit(t)
+	}
+
+	sort.SliceStable(results, func(i, j int) bool {
+		if results[i].Arrival != results[j].Arrival {
+			return results[i].Arrival < results[j].Arrival
+		}
+		return results[i].ID < results[j].ID
+	})
+	return results, nil
+}
+
+// SoloFCT returns the processor-sharing completion time of a single
+// transfer on an idle link — exactly size/capacity, the paper's
+// T_theoretical.
+func SoloFCT(capacity units.BitRate, size units.ByteSize) (time.Duration, error) {
+	res, err := Run(capacity, []Flow{{ID: 0, Arrival: 0, Size: size}})
+	if err != nil {
+		return 0, err
+	}
+	return units.Seconds(res[0].End), nil
+}

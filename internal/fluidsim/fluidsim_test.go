@@ -1,0 +1,189 @@
+package fluidsim
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/units"
+)
+
+func TestSoloFCTEqualsTheoretical(t *testing.T) {
+	// 0.5 GB at 25 Gbps = exactly 0.16 s under processor sharing.
+	d, err := SoloFCT(25*units.Gbps, 0.5*units.GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 160 * time.Millisecond; d < want-time.Microsecond || d > want+time.Microsecond {
+		t.Fatalf("solo FCT = %v, want %v", d, want)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(0, []Flow{{ID: 1, Size: units.GB}}); !errors.Is(err, ErrCapacity) {
+		t.Errorf("capacity: %v", err)
+	}
+	if _, err := Run(units.Gbps, nil); !errors.Is(err, ErrNoFlows) {
+		t.Errorf("no flows: %v", err)
+	}
+	if _, err := Run(units.Gbps, []Flow{{ID: 1, Arrival: -1, Size: 1}}); !errors.Is(err, ErrBadFlow) {
+		t.Errorf("bad arrival: %v", err)
+	}
+	if _, err := Run(units.Gbps, []Flow{{ID: 1, Size: -1}}); !errors.Is(err, ErrBadFlow) {
+		t.Errorf("bad size: %v", err)
+	}
+}
+
+func TestTwoSimultaneousFlowsShareExactly(t *testing.T) {
+	// Two equal flows arriving together each get half the link: both
+	// finish at 2*S/C.
+	res, err := Run(25*units.Gbps, []Flow{
+		{ID: 1, Arrival: 0, Size: 0.5 * units.GB},
+		{ID: 2, Arrival: 0, Size: 0.5 * units.GB},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if math.Abs(r.End-0.32) > 1e-9 {
+			t.Fatalf("flow %d ends at %v, want 0.32", r.ID, r.End)
+		}
+	}
+}
+
+func TestStaggeredArrivalExact(t *testing.T) {
+	// Flow A (1 GB) at t=0; flow B (1 GB) arrives at t=0.1 on a 1 GB/s
+	// link (8 Gbps). A runs alone 0.1 s (0.9 GB left), then shares:
+	// both at 0.5 GB/s. B finishes at 0.1 + min... work it out:
+	// A rem 0.9, B rem 1.0. A finishes first: 0.9/0.5 = 1.8 s -> t=1.9.
+	// B then has 1.0-0.9=0.1 GB left alone: 0.1 s -> t=2.0.
+	res, err := Run(8*units.Gbps, []Flow{
+		{ID: 1, Arrival: 0, Size: units.GB},
+		{ID: 2, Arrival: 0.1, Size: units.GB},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[int]Result{}
+	for _, r := range res {
+		byID[r.ID] = r
+	}
+	if math.Abs(byID[1].End-1.9) > 1e-9 {
+		t.Errorf("A ends %v, want 1.9", byID[1].End)
+	}
+	if math.Abs(byID[2].End-2.0) > 1e-9 {
+		t.Errorf("B ends %v, want 2.0", byID[2].End)
+	}
+}
+
+func TestZeroSizeFlow(t *testing.T) {
+	res, err := Run(units.Gbps, []Flow{{ID: 1, Arrival: 5, Size: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].End != 5 || res[0].Duration() != 0 {
+		t.Fatalf("zero flow: %+v", res[0])
+	}
+}
+
+func TestIdleGap(t *testing.T) {
+	res, err := Run(8*units.Gbps, []Flow{
+		{ID: 1, Arrival: 0, Size: units.GB},
+		{ID: 2, Arrival: 100, Size: units.GB},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res[0].Duration()-1.0) > 1e-9 || math.Abs(res[1].Duration()-1.0) > 1e-9 {
+		t.Fatalf("isolated flows: %v, %v", res[0].Duration(), res[1].Duration())
+	}
+}
+
+func TestSimultaneousTiesAllFinish(t *testing.T) {
+	// Many identical flows must all complete in one batch without
+	// leaving stragglers from floating-point residue.
+	flows := make([]Flow, 50)
+	for i := range flows {
+		flows[i] = Flow{ID: i, Arrival: 0, Size: 10 * units.MB}
+	}
+	res, err := Run(units.Gbps, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 50 {
+		t.Fatalf("finished %d of 50", len(res))
+	}
+	// All end at 50*10MB / 125MBps = 4 s.
+	for _, r := range res {
+		if math.Abs(r.End-4.0) > 1e-6 {
+			t.Fatalf("flow %d ends %v", r.ID, r.End)
+		}
+	}
+}
+
+// Property: work conservation — total bytes delivered equals total bytes
+// offered, and the last completion time is at least total/capacity.
+func TestQuickWorkConservation(t *testing.T) {
+	f := func(sizes []uint16, gaps []uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		capacity := units.Gbps // 125 MB/s
+		var flows []Flow
+		t0 := 0.0
+		for i, s := range sizes {
+			if i < len(gaps) {
+				t0 += float64(gaps[i]) / 100
+			}
+			flows = append(flows, Flow{ID: i, Arrival: t0, Size: units.ByteSize(s) * units.KB})
+		}
+		res, err := Run(capacity, flows)
+		if err != nil || len(res) != len(flows) {
+			return false
+		}
+		totalBytes := 0.0
+		lastEnd := 0.0
+		firstArrival := flows[0].Arrival
+		for _, r := range res {
+			totalBytes += r.Bytes
+			if r.End > lastEnd {
+				lastEnd = r.End
+			}
+		}
+		minTime := totalBytes / capacity.ByteRate().BytesPerSecond()
+		return lastEnd+1e-9 >= firstArrival+minTime
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FCT of every flow is at least its solo time S/C.
+func TestQuickFCTAboveSolo(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		capacity := units.Gbps
+		capBps := capacity.ByteRate().BytesPerSecond()
+		var flows []Flow
+		for i, s := range sizes {
+			flows = append(flows, Flow{ID: i, Arrival: float64(i) * 0.001, Size: units.ByteSize(s) * units.KB})
+		}
+		res, err := Run(capacity, flows)
+		if err != nil {
+			return false
+		}
+		for _, r := range res {
+			if r.Duration()+1e-9 < r.Bytes/capBps {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

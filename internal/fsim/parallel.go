@@ -1,0 +1,100 @@
+package fsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/units"
+)
+
+// This file extends the file-system model with multi-writer staging and
+// DTN integrity verification — the knobs real deployments turn when the
+// single-writer small-file penalty of Fig. 4 bites.
+
+// BackendBandwidth optionally caps the aggregate throughput of parallel
+// writers/readers; zero means the backend scales linearly with clients
+// (realistic only for small client counts, which is exactly how the
+// model should be used).
+type parallelOpts struct {
+	clients int
+	backend units.ByteRate
+}
+
+// WriteTimeParallel returns the time for `writers` concurrent clients to
+// create and write n files of the given size: per-file metadata is
+// divided across writers (each client owns a share of the files), and
+// payload moves at min(writers × per-writer bandwidth, backend).
+// backend = 0 means the backend is not the constraint.
+func (fs FileSystem) WriteTimeParallel(n int, each units.ByteSize, writers int, backend units.ByteRate) (time.Duration, error) {
+	if err := fs.Validate(); err != nil {
+		return 0, err
+	}
+	if writers <= 0 {
+		return 0, fmt.Errorf("%w: writers must be > 0, got %d", ErrBadConfig, writers)
+	}
+	if backend < 0 {
+		return 0, fmt.Errorf("%w: negative backend bandwidth", ErrBadConfig)
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("%w, got %d", ErrBadFileCount, n)
+	}
+	if each < 0 {
+		return 0, fmt.Errorf("%w, got %v", ErrBadFileSize, each)
+	}
+	// Each writer handles ceil(n/writers) files' metadata serially.
+	perWriter := (n + writers - 1) / writers
+	meta := time.Duration(perWriter) * (fs.CreateLatency + fs.CloseLatency)
+	rate := float64(fs.WriteBandwidth) * float64(writers)
+	if backend > 0 && float64(backend) < rate {
+		rate = float64(backend)
+	}
+	payload := units.Seconds(float64(n) * each.Bytes() / rate)
+	return meta + payload, nil
+}
+
+// ReadTimeParallel is the read-side analogue of WriteTimeParallel.
+func (fs FileSystem) ReadTimeParallel(n int, each units.ByteSize, readers int, backend units.ByteRate) (time.Duration, error) {
+	if err := fs.Validate(); err != nil {
+		return 0, err
+	}
+	if readers <= 0 {
+		return 0, fmt.Errorf("%w: readers must be > 0, got %d", ErrBadConfig, readers)
+	}
+	if backend < 0 {
+		return 0, fmt.Errorf("%w: negative backend bandwidth", ErrBadConfig)
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("%w, got %d", ErrBadFileCount, n)
+	}
+	if each < 0 {
+		return 0, fmt.Errorf("%w, got %v", ErrBadFileSize, each)
+	}
+	perReader := (n + readers - 1) / readers
+	meta := time.Duration(perReader) * (fs.OpenLatency + fs.CloseLatency)
+	rate := float64(fs.ReadBandwidth) * float64(readers)
+	if backend > 0 && float64(backend) < rate {
+		rate = float64(backend)
+	}
+	payload := units.Seconds(float64(n) * each.Bytes() / rate)
+	return meta + payload, nil
+}
+
+// WithChecksum returns a copy of the DTN that verifies every file at the
+// given rate (e.g. Globus end-to-end checksums). Verification reads the
+// payload once more, so it adds size/rate per file on top of setup and
+// wire time.
+func (d DTN) WithChecksum(rate units.ByteRate) (DTN, error) {
+	if rate <= 0 {
+		return DTN{}, fmt.Errorf("%w: checksum rate must be > 0, got %v", ErrBadConfig, rate)
+	}
+	d.ChecksumRate = rate
+	return d, nil
+}
+
+// checksumTime returns the per-file verification time (0 when disabled).
+func (d DTN) checksumTime(size units.ByteSize) time.Duration {
+	if d.ChecksumRate <= 0 {
+		return 0
+	}
+	return units.Seconds(size.Bytes() / d.ChecksumRate.BytesPerSecond())
+}

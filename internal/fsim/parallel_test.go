@@ -1,0 +1,133 @@
+package fsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+func TestWriteTimeParallelScaling(t *testing.T) {
+	fs := FileSystem{
+		Name:           "test",
+		CreateLatency:  time.Millisecond,
+		CloseLatency:   time.Millisecond,
+		WriteBandwidth: units.GBps,
+		ReadBandwidth:  units.GBps,
+	}
+	// 8 files x 1 GB, 1 writer: 16 ms meta + 8 s payload.
+	one, err := fs.WriteTimeParallel(8, units.GB, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 8*time.Second + 16*time.Millisecond; one != want {
+		t.Fatalf("1 writer = %v, want %v", one, want)
+	}
+	// 4 writers, no backend cap: meta 2 files each = 4 ms; payload at
+	// 4 GB/s = 2 s.
+	four, err := fs.WriteTimeParallel(8, units.GB, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2*time.Second + 4*time.Millisecond; four != want {
+		t.Fatalf("4 writers = %v, want %v", four, want)
+	}
+	// Backend cap at 2 GB/s bounds the payload.
+	capped, err := fs.WriteTimeParallel(8, units.GB, 4, 2*units.GBps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4*time.Second + 4*time.Millisecond; capped != want {
+		t.Fatalf("capped = %v, want %v", capped, want)
+	}
+}
+
+func TestReadTimeParallel(t *testing.T) {
+	fs := EagleLustre()
+	serial, err := fs.ReadTime(16, 100*units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := fs.ReadTimeParallel(16, 100*units.MB, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parallel >= serial {
+		t.Fatalf("8 readers (%v) should beat 1 (%v)", parallel, serial)
+	}
+	// One reader must agree with the serial path.
+	oneReader, err := fs.ReadTimeParallel(16, 100*units.MB, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oneReader != serial {
+		t.Fatalf("1 reader %v != serial %v", oneReader, serial)
+	}
+}
+
+func TestParallelValidation(t *testing.T) {
+	fs := VoyagerGPFS()
+	if _, err := fs.WriteTimeParallel(1, units.MB, 0, 0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("zero writers: %v", err)
+	}
+	if _, err := fs.WriteTimeParallel(1, units.MB, 1, -1); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("negative backend: %v", err)
+	}
+	if _, err := fs.WriteTimeParallel(0, units.MB, 1, 0); !errors.Is(err, ErrBadFileCount) {
+		t.Errorf("zero files: %v", err)
+	}
+	if _, err := fs.ReadTimeParallel(1, -1, 1, 0); !errors.Is(err, ErrBadFileSize) {
+		t.Errorf("negative size: %v", err)
+	}
+	if _, err := fs.ReadTimeParallel(1, units.MB, -2, 0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("negative readers: %v", err)
+	}
+}
+
+func TestChecksumAddsVerification(t *testing.T) {
+	base := APSToALCF()
+	plain, err := base.FileTransferTime(3 * units.GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verified, err := base.WithChecksum(1 * units.GBps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withSum, err := verified.FileTransferTime(3 * units.GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := plain + 3*time.Second; withSum != want {
+		t.Fatalf("checksummed = %v, want %v", withSum, want)
+	}
+	if _, err := base.WithChecksum(0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("zero checksum rate: %v", err)
+	}
+	bad := base
+	bad.ChecksumRate = -1
+	if err := bad.Validate(); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("negative checksum rate: %v", err)
+	}
+}
+
+func TestChecksumRaisesTheta(t *testing.T) {
+	local, remote := VoyagerGPFS(), EagleLustre()
+	plain := APSToALCF()
+	verified, err := plain.WithChecksum(500 * units.MBps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thetaPlain, err := ThetaFor(local, plain, remote, 10, 12*units.GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thetaVerified, err := ThetaFor(local, verified, remote, 10, 12*units.GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thetaVerified <= thetaPlain {
+		t.Fatalf("checksum theta %v should exceed plain %v", thetaVerified, thetaPlain)
+	}
+}

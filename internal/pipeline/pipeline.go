@@ -1,0 +1,307 @@
+// Package pipeline composes the end-to-end data paths Fig. 4 compares:
+//
+//   - the streaming path: frames leave the detector and flow straight
+//     into the remote facility's memory, with transfer overlapping
+//     generation (paper Fig. 1b), and
+//   - the file-based path: frames are staged to the local parallel file
+//     system, aggregated into transfer files, moved by a DTN, and landed
+//     on the remote file system (paper Fig. 1a).
+//
+// Both paths are evaluated on a shared Scenario (frame count, frame
+// size, generation interval) and produce a Timeline whose Completion is
+// when the last byte is available remotely. The paper's headline —
+// streaming up to 97 % faster end to end at high frame rates — falls out
+// of the per-file overheads on the staged path.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/fsim"
+	"repro/internal/units"
+)
+
+// Scenario describes the instrument output being moved: the paper's
+// Fig. 4 scan is 1,440 frames of 2048x2048 2-byte pixels (~8.4 MB per
+// frame, ~12.1 GB total) at 0.033 or 0.33 s/frame.
+type Scenario struct {
+	Frames        int
+	FrameSize     units.ByteSize
+	FrameInterval time.Duration
+}
+
+// APSScan returns the Fig. 4 scenario at the given frame interval.
+func APSScan(interval time.Duration) Scenario {
+	return Scenario{
+		Frames:        1440,
+		FrameSize:     2048 * 2048 * 2 * units.Byte,
+		FrameInterval: interval,
+	}
+}
+
+// Validate checks the scenario.
+func (s Scenario) Validate() error {
+	if s.Frames <= 0 {
+		return fmt.Errorf("pipeline: frames must be > 0, got %d", s.Frames)
+	}
+	if s.FrameSize <= 0 {
+		return fmt.Errorf("pipeline: frame size must be > 0, got %v", s.FrameSize)
+	}
+	if s.FrameInterval <= 0 {
+		return fmt.Errorf("pipeline: frame interval must be > 0, got %v", s.FrameInterval)
+	}
+	return nil
+}
+
+// TotalBytes returns the scan volume.
+func (s Scenario) TotalBytes() units.ByteSize {
+	return units.ByteSize(float64(s.Frames) * s.FrameSize.Bytes())
+}
+
+// GenerationEnd returns when the detector finishes producing the scan.
+func (s Scenario) GenerationEnd() time.Duration {
+	return time.Duration(s.Frames) * s.FrameInterval
+}
+
+// GenerationRate returns the sustained production rate.
+func (s Scenario) GenerationRate() units.ByteRate {
+	return units.ByteRate(s.FrameSize.Bytes() / s.FrameInterval.Seconds())
+}
+
+// Timeline is the outcome of running a path on a scenario.
+type Timeline struct {
+	// GenerationEnd is when the last frame left the detector.
+	GenerationEnd time.Duration
+	// FirstByteRemote is when the first payload became available at the
+	// remote facility — the steering-latency proxy.
+	FirstByteRemote time.Duration
+	// Completion is when the whole scan was available remotely.
+	Completion time.Duration
+}
+
+// PostGeneration returns Completion − GenerationEnd: how long after the
+// scan ends the remote side waits for the data. Streaming drives this
+// toward zero; staging pays here.
+func (t Timeline) PostGeneration() time.Duration {
+	return t.Completion - t.GenerationEnd
+}
+
+// StreamingConfig parameterizes the memory-to-memory streaming path.
+type StreamingConfig struct {
+	// Rate is the effective streaming throughput (α·Bw).
+	Rate units.ByteRate
+	// Startup is the one-time connection establishment cost.
+	Startup time.Duration
+}
+
+// DefaultStreaming uses the same effective wire rate as the Fig. 4 DTN
+// so the two paths differ only in overheads, not raw bandwidth.
+func DefaultStreaming() StreamingConfig {
+	return StreamingConfig{Rate: 1.5 * units.GBps, Startup: 100 * time.Millisecond}
+}
+
+// Validate checks the streaming parameters.
+func (c StreamingConfig) Validate() error {
+	if c.Rate <= 0 {
+		return fmt.Errorf("pipeline: streaming rate must be > 0, got %v", c.Rate)
+	}
+	if c.Startup < 0 {
+		return fmt.Errorf("pipeline: negative startup %v", c.Startup)
+	}
+	return nil
+}
+
+// Streaming evaluates the streaming path: each frame is sent as soon as
+// it is produced; the sender never blocks on the file system. When the
+// wire keeps up with generation (rate >= generation rate) the transfer
+// finishes one frame-transfer after the last frame; otherwise the wire
+// is the bottleneck and the transfer finishes total/rate after start.
+func Streaming(s Scenario, cfg StreamingConfig) (Timeline, error) {
+	if err := s.Validate(); err != nil {
+		return Timeline{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return Timeline{}, err
+	}
+	genEnd := s.GenerationEnd()
+	frameWire := units.Seconds(s.FrameSize.Bytes() / cfg.Rate.BytesPerSecond())
+	totalWire := units.Seconds(s.TotalBytes().Bytes() / cfg.Rate.BytesPerSecond())
+
+	// First frame is available after it is generated, the connection is
+	// up, and its bytes crossed the wire.
+	firstFrameDone := s.FrameInterval + frameWire
+	if cfg.Startup+frameWire > firstFrameDone {
+		firstFrameDone = cfg.Startup + frameWire
+	}
+
+	// Completion: either generation-bound (wire keeps up; last frame
+	// crosses right after being produced) or wire-bound (sender backlog
+	// drains at the wire rate from startup).
+	genBound := genEnd + frameWire
+	wireBound := cfg.Startup + s.FrameInterval + totalWire
+	completion := genBound
+	if wireBound > completion {
+		completion = wireBound
+	}
+	return Timeline{
+		GenerationEnd:   genEnd,
+		FirstByteRemote: firstFrameDone,
+		Completion:      completion,
+	}, nil
+}
+
+// FileBasedConfig parameterizes the staged path.
+type FileBasedConfig struct {
+	// Local is the instrument-side file system frames are staged to.
+	Local fsim.FileSystem
+	// Remote is the HPC-side file system the DTN lands files on.
+	Remote fsim.FileSystem
+	// DTN moves the files between facilities.
+	DTN fsim.DTN
+	// AggregateFiles is how many transfer files the scan is packed into
+	// (Fig. 4 uses 1, 10, 144, and 1,440 = one per frame).
+	AggregateFiles int
+}
+
+// DefaultFileBased returns the Fig. 4 staged path with n transfer files.
+func DefaultFileBased(n int) FileBasedConfig {
+	return FileBasedConfig{
+		Local:          fsim.VoyagerGPFS(),
+		Remote:         fsim.EagleLustre(),
+		DTN:            fsim.APSToALCF(),
+		AggregateFiles: n,
+	}
+}
+
+// Errors.
+var ErrBadAggregation = errors.New("pipeline: aggregate file count must be >= 1 and <= frames")
+
+// FileBased evaluates the staged path on the scenario:
+//
+//  1. every frame is written to the local file system as it is produced
+//     (metadata + bandwidth; the writer can fall behind generation);
+//  2. frames are aggregated into AggregateFiles transfer files — a file
+//     can only be assembled once all its frames are written, and the
+//     aggregator re-reads and re-writes the payload (unless one file per
+//     frame is transferred, which skips aggregation but maximizes
+//     per-file costs downstream);
+//  3. the DTN moves each transfer file (per-file setup + wire) as it
+//     becomes available, in order;
+//  4. landing on the remote file system costs its create metadata, with
+//     payload write overlapping the wire (the slower of the two rates
+//     bounds throughput).
+func FileBased(s Scenario, cfg FileBasedConfig) (Timeline, error) {
+	if err := s.Validate(); err != nil {
+		return Timeline{}, err
+	}
+	if err := cfg.Local.Validate(); err != nil {
+		return Timeline{}, fmt.Errorf("local: %w", err)
+	}
+	if err := cfg.Remote.Validate(); err != nil {
+		return Timeline{}, fmt.Errorf("remote: %w", err)
+	}
+	if err := cfg.DTN.Validate(); err != nil {
+		return Timeline{}, err
+	}
+	n := cfg.AggregateFiles
+	if n < 1 || n > s.Frames {
+		return Timeline{}, fmt.Errorf("%w: %d files for %d frames", ErrBadAggregation, n, s.Frames)
+	}
+
+	genEnd := s.GenerationEnd()
+
+	// Phase 1: stage frames to the local FS. One writer; a frame write
+	// can start only after the frame exists and the previous write
+	// finished.
+	frameWrite := cfg.Local.CreateLatency + cfg.Local.CloseLatency +
+		units.Seconds(s.FrameSize.Bytes()/cfg.Local.WriteBandwidth.BytesPerSecond())
+	writerFree := time.Duration(0)
+	frameDone := make([]time.Duration, s.Frames)
+	for i := 0; i < s.Frames; i++ {
+		produced := time.Duration(i+1) * s.FrameInterval
+		start := produced
+		if writerFree > start {
+			start = writerFree
+		}
+		writerFree = start + frameWrite
+		frameDone[i] = writerFree
+	}
+
+	// Phase 2: aggregate into n transfer files. Frames are distributed
+	// as evenly as possible; file j is ready when its last frame is
+	// staged and the (single) aggregator has re-read and re-written its
+	// payload. With one file per frame there is no aggregation pass.
+	base := s.Frames / n
+	extra := s.Frames % n
+	fileReady := make([]time.Duration, n)
+	fileSize := make([]units.ByteSize, n)
+	aggFree := time.Duration(0)
+	frameIdx := 0
+	for j := 0; j < n; j++ {
+		k := base
+		if j < extra {
+			k++
+		}
+		lastFrame := frameIdx + k - 1
+		size := units.ByteSize(float64(k) * s.FrameSize.Bytes())
+		fileSize[j] = size
+		stagedAt := frameDone[lastFrame]
+		if n == s.Frames {
+			fileReady[j] = stagedAt // transfer frame files directly
+		} else {
+			aggCost := cfg.Local.OpenLatency*time.Duration(k) + // re-open frames
+				cfg.Local.CreateLatency + cfg.Local.CloseLatency + // new file
+				units.Seconds(size.Bytes()/cfg.Local.ReadBandwidth.BytesPerSecond()) +
+				units.Seconds(size.Bytes()/cfg.Local.WriteBandwidth.BytesPerSecond())
+			start := stagedAt
+			if aggFree > start {
+				start = aggFree
+			}
+			aggFree = start + aggCost
+			fileReady[j] = aggFree
+		}
+		frameIdx += k
+	}
+
+	// Phases 3+4: DTN moves files in order; the remote landing's payload
+	// write overlaps the wire, so each file moves at the slower of the
+	// wire and remote write rates, plus per-file setup and remote create
+	// metadata.
+	effRate := cfg.DTN.Rate
+	if cfg.Remote.WriteBandwidth < effRate {
+		effRate = units.ByteRate(cfg.Remote.WriteBandwidth)
+	}
+	dtnFree := time.Duration(0)
+	var firstLanded time.Duration
+	for j := 0; j < n; j++ {
+		start := fileReady[j]
+		if dtnFree > start {
+			start = dtnFree
+		}
+		setup := cfg.DTN.PerFileSetup / time.Duration(cfg.DTN.Pipelining)
+		landCost := setup + cfg.Remote.CreateLatency + cfg.Remote.CloseLatency +
+			units.Seconds(fileSize[j].Bytes()/effRate.BytesPerSecond())
+		dtnFree = start + landCost
+		if j == 0 {
+			firstLanded = dtnFree
+		}
+	}
+
+	return Timeline{
+		GenerationEnd:   genEnd,
+		FirstByteRemote: firstLanded,
+		Completion:      dtnFree,
+	}, nil
+}
+
+// ReductionPercent returns how much lower (in percent) the streaming
+// completion is than the file-based completion — the paper's "up to 97%
+// lower end-to-end completion time" metric.
+func ReductionPercent(stream, file Timeline) float64 {
+	if file.Completion <= 0 {
+		return 0
+	}
+	return (1 - stream.Completion.Seconds()/file.Completion.Seconds()) * 100
+}

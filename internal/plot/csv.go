@@ -1,0 +1,188 @@
+package plot
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/stats"
+)
+
+// WriteSeriesCSV writes one or more series to w as CSV with an x column
+// followed by one y column per series. Series are aligned by index; a
+// shorter series leaves trailing cells empty. The x values of the first
+// series are used for the shared x column (the usual case is identical x
+// across series, e.g. the utilization sweep).
+func WriteSeriesCSV(w io.Writer, xName string, series ...stats.Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("plot: no series to write")
+	}
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(series)+1)
+	header = append(header, xName)
+	maxLen := 0
+	for i, s := range series {
+		name := s.Name
+		if name == "" {
+			name = fmt.Sprintf("series%d", i+1)
+		}
+		header = append(header, name)
+		if s.Len() > maxLen {
+			maxLen = s.Len()
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("plot: writing CSV header: %w", err)
+	}
+	for row := 0; row < maxLen; row++ {
+		rec := make([]string, 0, len(series)+1)
+		if row < series[0].Len() {
+			rec = append(rec, formatFloat(series[0].X[row]))
+		} else {
+			rec = append(rec, "")
+		}
+		for _, s := range series {
+			if row < s.Len() {
+				rec = append(rec, formatFloat(s.Y[row]))
+			} else {
+				rec = append(rec, "")
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("plot: writing CSV row %d: %w", row, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("plot: flushing CSV: %w", err)
+	}
+	return nil
+}
+
+// WriteCDFCSV writes CDF points as a two-column CSV (x, p).
+func WriteCDFCSV(w io.Writer, name string, pts []stats.CDFPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{name, "cumulative_probability"}); err != nil {
+		return fmt.Errorf("plot: writing CDF header: %w", err)
+	}
+	for _, p := range pts {
+		if err := cw.Write([]string{formatFloat(p.X), formatFloat(p.P)}); err != nil {
+			return fmt.Errorf("plot: writing CDF row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("plot: flushing CDF CSV: %w", err)
+	}
+	return nil
+}
+
+// WriteBarsCSV writes bars as a two-column CSV (label, value).
+func WriteBarsCSV(w io.Writer, valueName string, bars []Bar) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"label", valueName}); err != nil {
+		return fmt.Errorf("plot: writing bar header: %w", err)
+	}
+	for _, b := range bars {
+		if err := cw.Write([]string{b.Label, formatFloat(b.Value)}); err != nil {
+			return fmt.Errorf("plot: writing bar row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("plot: flushing bar CSV: %w", err)
+	}
+	return nil
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Table renders rows of cells as an aligned plain-text table with a
+// header rule — used for the paper's Tables 1-3.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	if cols == 0 {
+		return "(empty table)\n"
+	}
+	widths := make([]int, cols)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var sb []byte
+	writeRow := func(cells []string) {
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			sb = append(sb, []byte(fmt.Sprintf("%-*s", widths[i], c))...)
+			if i != cols-1 {
+				sb = append(sb, ' ', '|', ' ')
+			}
+		}
+		sb = append(sb, '\n')
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
+		for i := 0; i < cols; i++ {
+			for j := 0; j < widths[i]; j++ {
+				sb = append(sb, '-')
+			}
+			if i != cols-1 {
+				sb = append(sb, '-', '+', '-')
+			}
+		}
+		sb = append(sb, '\n')
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return string(sb)
+}
+
+// WriteCSV writes the table as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if len(t.Header) > 0 {
+		if err := cw.Write(t.Header); err != nil {
+			return fmt.Errorf("plot: writing table header: %w", err)
+		}
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return fmt.Errorf("plot: writing table row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("plot: flushing table CSV: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// heatRamp maps normalized intensity to glyphs, light to dark.
+var heatRamp = []byte(" .:-=+*#%@")
+
+// HeatMap renders a matrix as an ASCII heat map with row/column labels.
+// values[r][c] is the cell for rowLabels[r] x colLabels[c]. Cells are
+// normalized to [min, max] across the whole matrix; NaN cells render
+// as '?'.
+func HeatMap(title string, rowLabels, colLabels []string, values [][]float64) (string, error) {
+	if len(values) == 0 || len(values) != len(rowLabels) {
+		return "", fmt.Errorf("plot: heat map needs one row label per row (%d rows, %d labels)",
+			len(values), len(rowLabels))
+	}
+	for r, row := range values {
+		if len(row) != len(colLabels) {
+			return "", fmt.Errorf("plot: heat map row %d has %d cells, want %d",
+				r, len(row), len(colLabels))
+		}
+	}
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range values {
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		lo, hi = 0, 1
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	labelW := 0
+	for _, l := range rowLabels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	const cellW = 7
+
+	var sb strings.Builder
+	if title != "" {
+		fmt.Fprintf(&sb, "%s\n", title)
+	}
+	// Column header.
+	fmt.Fprintf(&sb, "%*s", labelW, "")
+	for _, c := range colLabels {
+		fmt.Fprintf(&sb, " %*s", cellW, c)
+	}
+	sb.WriteByte('\n')
+	for r, row := range values {
+		fmt.Fprintf(&sb, "%-*s", labelW, rowLabels[r])
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				fmt.Fprintf(&sb, " %*s", cellW, "?")
+				continue
+			}
+			idx := int((v - lo) / (hi - lo) * float64(len(heatRamp)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(heatRamp) {
+				idx = len(heatRamp) - 1
+			}
+			glyph := heatRamp[idx]
+			fmt.Fprintf(&sb, " %c%*.3g", glyph, cellW-2, v)
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "scale: '%c' = %.3g .. '%c' = %.3g\n",
+		heatRamp[0], lo, heatRamp[len(heatRamp)-1], hi)
+	return sb.String(), nil
+}

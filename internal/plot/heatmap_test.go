@@ -1,0 +1,61 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHeatMapBasic(t *testing.T) {
+	out, err := HeatMap("worst FCT",
+		[]string{"P=2", "P=8"},
+		[]string{"c=1", "c=8"},
+		[][]float64{{0.2, 5.0}, {0.3, 6.6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"worst FCT", "P=2", "c=8", "scale:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// Hottest cell gets the darkest glyph, coolest the lightest-but-one
+	// (space is reserved for the minimum itself).
+	if !strings.Contains(out, "@") {
+		t.Errorf("max glyph missing:\n%s", out)
+	}
+}
+
+func TestHeatMapValidation(t *testing.T) {
+	if _, err := HeatMap("t", []string{"a"}, []string{"x"}, nil); err == nil {
+		t.Error("empty values accepted")
+	}
+	if _, err := HeatMap("t", []string{"a", "b"}, []string{"x"}, [][]float64{{1}}); err == nil {
+		t.Error("label/row mismatch accepted")
+	}
+	if _, err := HeatMap("t", []string{"a"}, []string{"x", "y"}, [][]float64{{1}}); err == nil {
+		t.Error("ragged row accepted")
+	}
+}
+
+func TestHeatMapDegenerate(t *testing.T) {
+	// All-equal and NaN cells must not panic or divide by zero.
+	out, err := HeatMap("flat", []string{"r"}, []string{"c1", "c2"},
+		[][]float64{{2, 2}})
+	if err != nil || out == "" {
+		t.Fatalf("flat map: %v", err)
+	}
+	out, err = HeatMap("nan", []string{"r"}, []string{"c1", "c2"},
+		[][]float64{{math.NaN(), 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "?") {
+		t.Errorf("NaN cell not rendered as '?':\n%s", out)
+	}
+	out, err = HeatMap("allnan", []string{"r"}, []string{"c"},
+		[][]float64{{math.NaN()}})
+	if err != nil || out == "" {
+		t.Fatalf("all-NaN map: %v", err)
+	}
+}

@@ -1,0 +1,71 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/units"
+)
+
+// MG1 models an M/G/1 queue: Poisson arrivals, a general service-time
+// distribution characterized by its squared coefficient of variation
+// SCV = Var(S)/E(S)². SCV = 0 recovers M/D/1 and SCV = 1 recovers M/M/1,
+// letting the model interpolate between fixed-size instrument frames and
+// heavy-tailed transfer times — a first-order handle on the paper's
+// "variability in network performance".
+type MG1 struct {
+	Lambda float64 // arrival rate, jobs/s
+	Mu     float64 // service rate, jobs/s
+	SCV    float64 // squared coefficient of variation of service time
+}
+
+// Rho returns the utilization λ/μ.
+func (q MG1) Rho() float64 { return q.Lambda / q.Mu }
+
+// MeanWait returns the Pollaczek–Khinchine mean queueing delay:
+// Wq = (1 + SCV)/2 · ρ/(μ(1−ρ)).
+func (q MG1) MeanWait() (time.Duration, error) {
+	if q.SCV < 0 || math.IsNaN(q.SCV) {
+		return 0, fmt.Errorf("queueing: negative SCV %v", q.SCV)
+	}
+	rho, err := validate(q.Lambda, q.Mu)
+	if err != nil {
+		return 0, err
+	}
+	wq := (1 + q.SCV) / 2 * rho / (q.Mu * (1 - rho))
+	return units.Seconds(wq), nil
+}
+
+// MeanSojourn returns mean wait plus the mean service time 1/μ.
+func (q MG1) MeanSojourn() (time.Duration, error) {
+	w, err := q.MeanWait()
+	if err != nil {
+		return 0, err
+	}
+	return w + units.Seconds(1/q.Mu), nil
+}
+
+// MeanQueueLength returns the mean number of jobs in the system via
+// Little's law: L = λ·W.
+func (q MG1) MeanQueueLength() (float64, error) {
+	w, err := q.MeanSojourn()
+	if err != nil {
+		return 0, err
+	}
+	return q.Lambda * w.Seconds(), nil
+}
+
+// TransferQueueWithVariability is TransferQueue with an explicit
+// service-time SCV estimated from measurements (e.g. the variance of
+// observed flow completion times under congestion).
+func TransferQueueWithVariability(concurrency float64, size units.ByteSize, capacity units.BitRate, scv float64) (MG1, error) {
+	base, err := TransferQueue(concurrency, size, capacity)
+	if err != nil {
+		return MG1{}, err
+	}
+	if scv < 0 || math.IsNaN(scv) {
+		return MG1{}, fmt.Errorf("queueing: negative SCV %v", scv)
+	}
+	return MG1{Lambda: base.Lambda, Mu: base.Mu, SCV: scv}, nil
+}

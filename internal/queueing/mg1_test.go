@@ -1,0 +1,132 @@
+package queueing
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestMG1RecoversMD1(t *testing.T) {
+	g := MG1{Lambda: 3, Mu: 5, SCV: 0}
+	d := MD1{Lambda: 3, Mu: 5}
+	gw, err := g.MeanWait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw, err := d.MeanWait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gw != dw {
+		t.Fatalf("MG1(SCV=0) wait %v != MD1 wait %v", gw, dw)
+	}
+}
+
+func TestMG1RecoversMM1(t *testing.T) {
+	g := MG1{Lambda: 3, Mu: 5, SCV: 1}
+	m := MM1{Lambda: 3, Mu: 5}
+	gw, err := g.MeanWait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw, err := m.MeanWait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gw.Seconds()-mw.Seconds()) > 1e-12 {
+		t.Fatalf("MG1(SCV=1) wait %v != MM1 wait %v", gw, mw)
+	}
+}
+
+func TestMG1HeavyTailWorse(t *testing.T) {
+	// Higher service variability means longer waits at equal load —
+	// exactly the paper's tail-latency concern in queueing form.
+	light := MG1{Lambda: 3, Mu: 5, SCV: 0.2}
+	heavy := MG1{Lambda: 3, Mu: 5, SCV: 8}
+	lw, err := light.MeanWait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := heavy.MeanWait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw <= lw {
+		t.Fatalf("heavy-tail wait %v should exceed light %v", hw, lw)
+	}
+	// P-K is linear in (1+SCV). Tolerance covers Duration's nanosecond
+	// truncation.
+	wantRatio := (1 + 8.0) / (1 + 0.2)
+	if gotRatio := hw.Seconds() / lw.Seconds(); math.Abs(gotRatio-wantRatio) > 1e-6 {
+		t.Fatalf("ratio = %v, want %v", gotRatio, wantRatio)
+	}
+}
+
+func TestMG1Errors(t *testing.T) {
+	if _, err := (MG1{Lambda: 3, Mu: 5, SCV: -1}).MeanWait(); err == nil {
+		t.Error("negative SCV accepted")
+	}
+	if _, err := (MG1{Lambda: 6, Mu: 5, SCV: 1}).MeanWait(); !errors.Is(err, ErrUnstable) {
+		t.Error("unstable queue accepted")
+	}
+	if _, err := (MG1{Lambda: 3, Mu: 5, SCV: math.NaN()}).MeanSojourn(); err == nil {
+		t.Error("NaN SCV accepted")
+	}
+}
+
+func TestMG1LittlesLaw(t *testing.T) {
+	q := MG1{Lambda: 2, Mu: 6.25, SCV: 0.5}
+	l, err := q.MeanQueueLength()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := q.MeanSojourn()
+	if math.Abs(l-q.Lambda*w.Seconds()) > 1e-9 {
+		t.Fatalf("L = %v, lambda*W = %v", l, q.Lambda*w.Seconds())
+	}
+}
+
+func TestTransferQueueWithVariability(t *testing.T) {
+	q, err := TransferQueueWithVariability(4, 0.5*units.GB, 25*units.Gbps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q.Mu-6.25) > 1e-9 || q.SCV != 2 {
+		t.Fatalf("queue = %+v", q)
+	}
+	if _, err := TransferQueueWithVariability(4, 0.5*units.GB, 25*units.Gbps, -1); err == nil {
+		t.Error("negative SCV accepted")
+	}
+	if _, err := TransferQueueWithVariability(4, 0, 25*units.Gbps, 1); err == nil {
+		t.Error("zero size accepted")
+	}
+}
+
+// Property: MG1 wait is monotone in SCV and in load.
+func TestQuickMG1Monotone(t *testing.T) {
+	f := func(s1, s2, l1, l2 uint8) bool {
+		scvA := float64(s1) / 16
+		scvB := float64(s2) / 16
+		if scvA > scvB {
+			scvA, scvB = scvB, scvA
+		}
+		la := float64(l1%99) / 100 * 5
+		lb := float64(l2%99) / 100 * 5
+		if la > lb {
+			la, lb = lb, la
+		}
+		wA, err1 := (MG1{Lambda: la, Mu: 5, SCV: scvA}).MeanWait()
+		wB, err2 := (MG1{Lambda: la, Mu: 5, SCV: scvB}).MeanWait()
+		wC, err3 := (MG1{Lambda: lb, Mu: 5, SCV: scvA}).MeanWait()
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return wA <= wB && wA <= wC
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,133 @@
+// Package queueing provides analytic M/M/1 and M/D/1 delay estimates —
+// the paper's "future work: incorporate concurrency and queuing effects"
+// — used both as a fast feasibility screen and as a cross-check on the
+// simulators (DESIGN.md ablation #3).
+//
+// Transfers map to queueing jobs as follows: a link serving transfers of
+// size S at capacity C is a server with service rate mu = C/S jobs per
+// second; clients spawning at a given concurrency (clients per second)
+// form the arrival process with rate lambda. The sojourn time (wait +
+// service) is the flow completion time analogue.
+package queueing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/units"
+)
+
+// ErrUnstable is returned when the offered load ρ = λ/μ is >= 1 — the
+// queue grows without bound and no steady-state estimate exists. This is
+// the analytic analogue of the paper's "severe congestion" regime.
+var ErrUnstable = errors.New("queueing: utilization >= 1, queue is unstable")
+
+// MM1 models an M/M/1 queue: Poisson arrivals, exponential service.
+type MM1 struct {
+	Lambda float64 // arrival rate, jobs/s
+	Mu     float64 // service rate, jobs/s
+}
+
+// MD1 models an M/D/1 queue: Poisson arrivals, deterministic service —
+// the better fit for fixed-size instrument frames.
+type MD1 struct {
+	Lambda float64 // arrival rate, jobs/s
+	Mu     float64 // service rate, jobs/s
+}
+
+// validate checks rates and stability.
+func validate(lambda, mu float64) (rho float64, err error) {
+	if lambda < 0 || math.IsNaN(lambda) {
+		return 0, fmt.Errorf("queueing: bad arrival rate %v", lambda)
+	}
+	if mu <= 0 || math.IsNaN(mu) {
+		return 0, fmt.Errorf("queueing: bad service rate %v", mu)
+	}
+	rho = lambda / mu
+	if rho >= 1 {
+		return rho, fmt.Errorf("%w (rho=%.3f)", ErrUnstable, rho)
+	}
+	return rho, nil
+}
+
+// Rho returns the utilization λ/μ.
+func (q MM1) Rho() float64 { return q.Lambda / q.Mu }
+
+// MeanSojourn returns the mean time a job spends in the system
+// (wait + service): W = 1/(μ−λ).
+func (q MM1) MeanSojourn() (time.Duration, error) {
+	if _, err := validate(q.Lambda, q.Mu); err != nil {
+		return 0, err
+	}
+	return units.Seconds(1 / (q.Mu - q.Lambda)), nil
+}
+
+// MeanWait returns the mean queueing delay Wq = ρ/(μ−λ).
+func (q MM1) MeanWait() (time.Duration, error) {
+	rho, err := validate(q.Lambda, q.Mu)
+	if err != nil {
+		return 0, err
+	}
+	return units.Seconds(rho / (q.Mu - q.Lambda)), nil
+}
+
+// QuantileSojourn returns the p-quantile of the sojourn time. For M/M/1
+// the sojourn is exponential with rate μ−λ: Q(p) = −ln(1−p)/(μ−λ).
+// This gives the analytic P99 the paper's tail-latency argument needs.
+func (q MM1) QuantileSojourn(p float64) (time.Duration, error) {
+	if p < 0 || p >= 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("queueing: quantile %v out of [0,1)", p)
+	}
+	if _, err := validate(q.Lambda, q.Mu); err != nil {
+		return 0, err
+	}
+	return units.Seconds(-math.Log(1-p) / (q.Mu - q.Lambda)), nil
+}
+
+// MeanQueueLength returns the mean number of jobs in the system,
+// L = ρ/(1−ρ) (Little's law consistent with MeanSojourn).
+func (q MM1) MeanQueueLength() (float64, error) {
+	rho, err := validate(q.Lambda, q.Mu)
+	if err != nil {
+		return 0, err
+	}
+	return rho / (1 - rho), nil
+}
+
+// Rho returns the utilization λ/μ.
+func (q MD1) Rho() float64 { return q.Lambda / q.Mu }
+
+// MeanWait returns the Pollaczek–Khinchine mean queueing delay for
+// deterministic service: Wq = ρ / (2μ(1−ρ)).
+func (q MD1) MeanWait() (time.Duration, error) {
+	rho, err := validate(q.Lambda, q.Mu)
+	if err != nil {
+		return 0, err
+	}
+	return units.Seconds(rho / (2 * q.Mu * (1 - rho))), nil
+}
+
+// MeanSojourn returns mean wait plus the deterministic service time 1/μ.
+func (q MD1) MeanSojourn() (time.Duration, error) {
+	w, err := q.MeanWait()
+	if err != nil {
+		return 0, err
+	}
+	return w + units.Seconds(1/q.Mu), nil
+}
+
+// TransferQueue builds the queueing view of a transfer workload: clients
+// spawning at `concurrency` per second, each moving `size` over a link of
+// `capacity`, served one at a time (the scheduled/reserved regime).
+func TransferQueue(concurrency float64, size units.ByteSize, capacity units.BitRate) (MD1, error) {
+	if size <= 0 {
+		return MD1{}, fmt.Errorf("queueing: size must be > 0, got %v", size)
+	}
+	if capacity <= 0 {
+		return MD1{}, fmt.Errorf("queueing: capacity must be > 0, got %v", capacity)
+	}
+	mu := capacity.ByteRate().BytesPerSecond() / size.Bytes()
+	return MD1{Lambda: concurrency, Mu: mu}, nil
+}

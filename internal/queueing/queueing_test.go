@@ -1,0 +1,194 @@
+package queueing
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/units"
+)
+
+func TestMM1Mean(t *testing.T) {
+	q := MM1{Lambda: 2, Mu: 4}
+	w, err := q.MeanSojourn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 500*time.Millisecond {
+		t.Fatalf("sojourn = %v, want 500ms", w)
+	}
+	wq, err := q.MeanWait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wq != 250*time.Millisecond {
+		t.Fatalf("wait = %v, want 250ms", wq)
+	}
+	if rho := q.Rho(); rho != 0.5 {
+		t.Fatalf("rho = %v", rho)
+	}
+	l, err := q.MeanQueueLength()
+	if err != nil || math.Abs(l-1) > 1e-12 {
+		t.Fatalf("L = %v, %v (want 1)", l, err)
+	}
+	// Little's law: L = lambda * W.
+	if math.Abs(l-q.Lambda*w.Seconds()) > 1e-9 {
+		t.Fatal("Little's law violated")
+	}
+}
+
+func TestMM1Quantile(t *testing.T) {
+	q := MM1{Lambda: 2, Mu: 4}
+	median, err := q.QuantileSojourn(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Ln2 / 2 // -ln(0.5)/(4-2)
+	if math.Abs(median.Seconds()-want) > 1e-9 {
+		t.Fatalf("median = %v, want %v s", median, want)
+	}
+	p99, _ := q.QuantileSojourn(0.99)
+	mean, _ := q.MeanSojourn()
+	// Exponential: p99 = ln(100) * mean ≈ 4.6x mean — a long tail.
+	ratio := p99.Seconds() / mean.Seconds()
+	if math.Abs(ratio-math.Log(100)) > 1e-6 { // Duration truncates to ns
+		t.Fatalf("p99/mean = %v", ratio)
+	}
+	for _, bad := range []float64{-0.1, 1, 1.5, math.NaN()} {
+		if _, err := q.QuantileSojourn(bad); err == nil {
+			t.Errorf("quantile %v accepted", bad)
+		}
+	}
+}
+
+func TestInstability(t *testing.T) {
+	q := MM1{Lambda: 5, Mu: 4}
+	if _, err := q.MeanSojourn(); !errors.Is(err, ErrUnstable) {
+		t.Errorf("err = %v", err)
+	}
+	crit := MM1{Lambda: 4, Mu: 4}
+	if _, err := crit.MeanSojourn(); !errors.Is(err, ErrUnstable) {
+		t.Errorf("rho=1 err = %v", err)
+	}
+	d := MD1{Lambda: 5, Mu: 4}
+	if _, err := d.MeanWait(); !errors.Is(err, ErrUnstable) {
+		t.Errorf("MD1 err = %v", err)
+	}
+}
+
+func TestBadRates(t *testing.T) {
+	if _, err := (MM1{Lambda: -1, Mu: 4}).MeanSojourn(); err == nil {
+		t.Error("negative lambda accepted")
+	}
+	if _, err := (MM1{Lambda: 1, Mu: 0}).MeanSojourn(); err == nil {
+		t.Error("zero mu accepted")
+	}
+	if _, err := (MM1{Lambda: math.NaN(), Mu: 1}).MeanSojourn(); err == nil {
+		t.Error("NaN lambda accepted")
+	}
+}
+
+func TestMD1HalfTheWaitOfMM1(t *testing.T) {
+	// Deterministic service halves the mean wait versus exponential at
+	// equal rates: Wq(M/D/1) = Wq(M/M/1)/2.
+	m := MM1{Lambda: 3, Mu: 5}
+	d := MD1{Lambda: 3, Mu: 5}
+	wm, err := m.MeanWait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd, err := d.MeanWait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(wd.Seconds()-wm.Seconds()/2) > 1e-9 {
+		t.Fatalf("MD1 wait %v, MM1 wait %v", wd, wm)
+	}
+	sd, err := d.MeanSojourn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sd.Seconds()-(wd.Seconds()+0.2)) > 1e-9 {
+		t.Fatalf("MD1 sojourn %v", sd)
+	}
+}
+
+func TestTransferQueuePaperScenario(t *testing.T) {
+	// 0.5 GB transfers on 25 Gbps: mu = 6.25 jobs/s. At concurrency 4
+	// (64% load) the scheduled M/D/1 wait stays well under a second.
+	q, err := TransferQueue(4, 0.5*units.GB, 25*units.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q.Mu-6.25) > 1e-9 {
+		t.Fatalf("mu = %v", q.Mu)
+	}
+	if math.Abs(q.Rho()-0.64) > 1e-9 {
+		t.Fatalf("rho = %v", q.Rho())
+	}
+	s, err := q.MeanSojourn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seconds() < 0.16 || s.Seconds() > 1 {
+		t.Fatalf("sojourn = %v, want between service time and 1 s", s)
+	}
+	// Concurrency 8 = 128% load: unstable, matching the paper's
+	// infeasible 4 GB/s case.
+	q8, _ := TransferQueue(8, 0.5*units.GB, 25*units.Gbps)
+	if _, err := q8.MeanSojourn(); !errors.Is(err, ErrUnstable) {
+		t.Errorf("overload err = %v", err)
+	}
+}
+
+func TestTransferQueueErrors(t *testing.T) {
+	if _, err := TransferQueue(1, 0, units.Gbps); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := TransferQueue(1, units.GB, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+// Property: M/M/1 sojourn grows monotonically with load and explodes as
+// rho -> 1 (the non-linear growth the paper observes above 90%).
+func TestQuickSojournMonotoneInLoad(t *testing.T) {
+	f := func(a, b uint8) bool {
+		la := float64(a%99) / 100 * 4 // lambda in [0, 3.96)
+		lb := float64(b%99) / 100 * 4
+		if la > lb {
+			la, lb = lb, la
+		}
+		qa := MM1{Lambda: la, Mu: 4}
+		qb := MM1{Lambda: lb, Mu: 4}
+		wa, err1 := qa.MeanSojourn()
+		wb, err2 := qb.MeanSojourn()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return wa <= wb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNonLinearKnee(t *testing.T) {
+	// Quantify the knee: going from 50% to 90% load must inflate the
+	// sojourn far more than going 10% -> 50%.
+	mu := 6.25
+	at := func(rho float64) float64 {
+		w, err := MM1{Lambda: rho * mu, Mu: mu}.MeanSojourn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.Seconds()
+	}
+	lowJump := at(0.5) - at(0.1)
+	highJump := at(0.9) - at(0.5)
+	if highJump < 3*lowJump {
+		t.Fatalf("no knee: lowJump=%v highJump=%v", lowJump, highJump)
+	}
+}

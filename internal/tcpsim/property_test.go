@@ -1,0 +1,171 @@
+package tcpsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+// Property tests on simulator invariants. Random workloads are kept
+// small so each case runs in microseconds.
+
+// genSpecs turns raw fuzz bytes into a bounded, valid workload.
+func genSpecs(sizes []uint16, gaps []uint8) []FlowSpec {
+	if len(sizes) > 24 {
+		sizes = sizes[:24]
+	}
+	specs := make([]FlowSpec, 0, len(sizes))
+	t := 0.0
+	for i, s := range sizes {
+		if i < len(gaps) {
+			t += float64(gaps[i]) / 50 // up to ~5 s total spread
+		}
+		specs = append(specs, FlowSpec{
+			ID:      i,
+			Arrival: t,
+			Size:    units.ByteSize(s) * 64 * units.KB, // up to ~4 GB
+		})
+	}
+	return specs
+}
+
+// Property: every submitted flow completes exactly once, with End >=
+// Arrival, and its recorded Bytes match the spec.
+func TestQuickAllFlowsComplete(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(sizes []uint16, gaps []uint8) bool {
+		specs := genSpecs(sizes, gaps)
+		if len(specs) == 0 {
+			return true
+		}
+		res, err := Run(cfg, specs)
+		if err != nil {
+			return false
+		}
+		if len(res.Flows) != len(specs) {
+			return false
+		}
+		seen := make(map[int]bool)
+		byID := make(map[int]FlowSpec)
+		for _, s := range specs {
+			byID[s.ID] = s
+		}
+		for _, fr := range res.Flows {
+			if seen[fr.ID] {
+				return false // duplicate completion
+			}
+			seen[fr.ID] = true
+			spec := byID[fr.ID]
+			if fr.End < fr.Arrival {
+				return false
+			}
+			if math.Abs(fr.Bytes-spec.Size.Bytes()) > 0.5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: no flow beats the physical floor S/C (within one round of
+// slack for the sub-RTT finish interpolation).
+func TestQuickNoFlowBeatsLinkRate(t *testing.T) {
+	cfg := DefaultConfig()
+	capBps := cfg.Capacity.ByteRate().BytesPerSecond()
+	slack := cfg.BaseRTT.Seconds()
+	f := func(sizes []uint16, gaps []uint8) bool {
+		specs := genSpecs(sizes, gaps)
+		if len(specs) == 0 {
+			return true
+		}
+		res, err := Run(cfg, specs)
+		if err != nil {
+			return false
+		}
+		for _, fr := range res.Flows {
+			floor := fr.Bytes / capBps
+			if fr.Duration()+slack < floor {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: served bytes on the link counters cover the payload (every
+// payload byte crosses the link at least once; retransmissions may add
+// more).
+func TestQuickLinkServesAllPayload(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(sizes []uint16, gaps []uint8) bool {
+		specs := genSpecs(sizes, gaps)
+		if len(specs) == 0 {
+			return true
+		}
+		payload := 0.0
+		for _, s := range specs {
+			payload += s.Size.Bytes()
+		}
+		if payload == 0 {
+			return true
+		}
+		res, err := Run(cfg, specs)
+		if err != nil {
+			return false
+		}
+		ivs, err := res.Counters.Utilization(cfg.Capacity.ByteRate().BytesPerSecond())
+		if err != nil {
+			// A single zero-size flow may record only one counter sample.
+			return payload == 0
+		}
+		served := 0.0
+		for _, iv := range ivs {
+			served += iv.Bytes
+		}
+		// Served >= payload - epsilon; dropped bytes get retransmitted so
+		// served can exceed payload but never undershoot.
+		return served >= payload*0.999
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the simulation is deterministic — same specs, same seed,
+// identical results.
+func TestQuickDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(sizes []uint16, gaps []uint8, seed int64) bool {
+		specs := genSpecs(sizes, gaps)
+		if len(specs) == 0 {
+			return true
+		}
+		c := cfg
+		c.Seed = seed
+		a, err1 := Run(c, specs)
+		b, err2 := Run(c, specs)
+		if err1 != nil || err2 != nil {
+			return err1 != nil && err2 != nil
+		}
+		if len(a.Flows) != len(b.Flows) {
+			return false
+		}
+		for i := range a.Flows {
+			if a.Flows[i] != b.Flows[i] {
+				return false
+			}
+		}
+		return a.DroppedBytes == b.DroppedBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,188 @@
+package transport
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+// Failure-injection coverage: the paper's loss-sensitive streaming
+// argument (§2.1) says incomplete data invalidates the computation, so
+// the transport layer must fail loudly, not degrade silently.
+
+func TestClientFailsWhenServerDiesMidTransfer(t *testing.T) {
+	// A raw listener that accepts one connection, reads a little, then
+	// slams the connection shut.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 4096)
+		_, _ = conn.Read(buf)
+		_ = conn.Close()
+	}()
+
+	cfg := ClientConfig{Flows: 1, Bytes: 32 * units.MB, Timeout: 5 * time.Second}
+	_, err = RunClient(ln.Addr().String(), cfg)
+	if err == nil {
+		t.Fatal("mid-transfer close not reported")
+	}
+}
+
+func TestClientTimesOutOnSilentServer(t *testing.T) {
+	// A server that accepts, drains everything, but never acks.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		_, _ = io.Copy(io.Discard, conn) // drain forever, no ack
+	}()
+
+	cfg := ClientConfig{Flows: 1, Bytes: 64 * units.KB, Timeout: 500 * time.Millisecond}
+	start := time.Now()
+	_, err = RunClient(ln.Addr().String(), cfg)
+	if err == nil {
+		t.Fatal("silent server not reported")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("timeout took %v, deadline not enforced", elapsed)
+	}
+	if !strings.Contains(err.Error(), "ack") {
+		t.Logf("error (acceptable, any failure): %v", err)
+	}
+}
+
+func TestServerSurvivesGarbageConnection(t *testing.T) {
+	g, err := ListenServers(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	addr := g.Addrs()[0]
+
+	// Throw garbage at the server: wrong magic.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = conn.Write([]byte("GET / HTTP/1.1\r\nHost: nope\r\n\r\n"))
+	_ = conn.Close()
+
+	// The server must still serve a well-formed client afterwards.
+	res, err := RunClient(addr, ClientConfig{Flows: 1, Bytes: 64 * units.KB})
+	if err != nil {
+		t.Fatalf("server died after garbage: %v", err)
+	}
+	if res.Bytes != 64*1000 {
+		t.Fatalf("bytes = %d", res.Bytes)
+	}
+}
+
+func TestServerSurvivesTruncatedHeader(t *testing.T) {
+	g, err := ListenServers(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	addr := g.Addrs()[0]
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = conn.Write([]byte{0x53, 0x54}) // two bytes of a 16-byte header
+	_ = conn.Close()
+
+	if _, err := RunClient(addr, ClientConfig{Flows: 2, Bytes: 32 * units.KB}); err != nil {
+		t.Fatalf("server died after truncated header: %v", err)
+	}
+}
+
+func TestServerSurvivesLyingHeader(t *testing.T) {
+	// Header promises more payload than is sent; connection closes early.
+	g, err := ListenServers(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	addr := g.Addrs()[0]
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [headerSize]byte
+	binary.BigEndian.PutUint32(hdr[0:4], Magic)
+	binary.BigEndian.PutUint32(hdr[4:8], 1)
+	binary.BigEndian.PutUint64(hdr[8:16], 1<<20) // promise 1 MiB
+	_, _ = conn.Write(hdr[:])
+	_, _ = conn.Write(make([]byte, 1024)) // send only 1 KiB
+	_ = conn.Close()
+
+	if _, err := RunClient(addr, ClientConfig{Flows: 1, Bytes: 16 * units.KB}); err != nil {
+		t.Fatalf("server died after lying header: %v", err)
+	}
+}
+
+func TestLoadFailurePropagates(t *testing.T) {
+	// Kill the server group before the load starts: every client fails
+	// and RunLoad must surface it.
+	g, err := ListenServers(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := g.Addrs()
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-dial dead addresses via a fresh group object is not possible;
+	// call RunClient directly against the dead addresses.
+	cfg := ClientConfig{Flows: 1, Bytes: units.KB, Timeout: time.Second}
+	if _, err := RunClient(addrs[0], cfg); err == nil {
+		t.Fatal("dead server accepted")
+	}
+}
+
+func TestStreamFramesServerGone(t *testing.T) {
+	g, err := ListenServers(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := g.Addrs()[0]
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	src := FrameSource{Frames: 3, FrameSize: units.KB, Interval: 0}
+	if _, err := StreamFrames(addr, src); err == nil {
+		t.Fatal("streaming to dead server succeeded")
+	}
+}
+
+func TestStageAndTransferUnwritableDir(t *testing.T) {
+	g, err := ListenServers(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	src := FrameSource{Frames: 2, FrameSize: units.KB, Interval: 0}
+	if _, err := StageAndTransfer(g.Addrs()[0], src, "/nonexistent/dir/for/staging", 1); err == nil {
+		t.Fatal("unwritable staging dir accepted")
+	}
+}

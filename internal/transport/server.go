@@ -1,0 +1,172 @@
+// Package transport is the live counterpart of the simulators: a real
+// TCP load generator in the style of the paper's iperf3 orchestration
+// (§4), plus memory-streaming and file-staged transfer paths over real
+// sockets and files. It exists so the reproduction's claims can be
+// spot-checked against an actual network stack (loopback here, any
+// address in general), not only against models.
+//
+// The wire protocol is minimal: each flow sends a fixed header (magic,
+// flow id, payload length) followed by the payload; the receiver
+// discards data and returns the received byte count as an
+// acknowledgment. Discarding mirrors iperf3's memory-to-memory mode —
+// the paper's "no contention on the server side" setup.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Magic identifies protocol connections (guards against port collisions).
+const Magic uint32 = 0x53545232 // "STR2"
+
+// header is the fixed-size flow preamble.
+type header struct {
+	Magic  uint32
+	FlowID uint32
+	Length uint64
+}
+
+const headerSize = 16
+
+func writeHeader(w io.Writer, h header) error {
+	var buf [headerSize]byte
+	binary.BigEndian.PutUint32(buf[0:4], h.Magic)
+	binary.BigEndian.PutUint32(buf[4:8], h.FlowID)
+	binary.BigEndian.PutUint64(buf[8:16], h.Length)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readHeader(r io.Reader) (header, error) {
+	var buf [headerSize]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return header{}, err
+	}
+	h := header{
+		Magic:  binary.BigEndian.Uint32(buf[0:4]),
+		FlowID: binary.BigEndian.Uint32(buf[4:8]),
+		Length: binary.BigEndian.Uint64(buf[8:16]),
+	}
+	if h.Magic != Magic {
+		return h, fmt.Errorf("transport: bad magic %#x", h.Magic)
+	}
+	return h, nil
+}
+
+// ErrClosed is returned for operations on a closed server group.
+var ErrClosed = errors.New("transport: server group closed")
+
+// ServerGroup is a set of discard servers on separate ports — the
+// paper's "multiple iperf3 server instances across sequential ports",
+// one per client so servers never contend.
+type ServerGroup struct {
+	mu        sync.Mutex
+	listeners []net.Listener
+	wg        sync.WaitGroup
+	closed    bool
+}
+
+// ListenServers starts n discard servers on OS-assigned loopback ports.
+func ListenServers(n int) (*ServerGroup, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("transport: need >= 1 server, got %d", n)
+	}
+	g := &ServerGroup{}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			_ = g.Close()
+			return nil, fmt.Errorf("transport: listening server %d: %w", i, err)
+		}
+		g.listeners = append(g.listeners, ln)
+		g.wg.Add(1)
+		go g.serve(ln)
+	}
+	return g, nil
+}
+
+// serve accepts and handles connections until the listener closes.
+func (g *ServerGroup) serve(ln net.Listener) {
+	defer g.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			defer conn.Close()
+			_ = handleConn(conn)
+		}()
+	}
+}
+
+// handleConn implements the discard protocol: read header, drain
+// payload, ack with the byte count. One connection can carry several
+// back-to-back flows (used by the file-staged path to model per-file
+// round trips on a persistent connection).
+func handleConn(conn net.Conn) error {
+	buf := make([]byte, 256*1024)
+	for {
+		h, err := readHeader(conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		var got uint64
+		for got < h.Length {
+			want := h.Length - got
+			if want > uint64(len(buf)) {
+				want = uint64(len(buf))
+			}
+			n, err := conn.Read(buf[:want])
+			got += uint64(n)
+			if err != nil {
+				return fmt.Errorf("transport: draining flow %d: %w", h.FlowID, err)
+			}
+		}
+		var ack [8]byte
+		binary.BigEndian.PutUint64(ack[:], got)
+		if _, err := conn.Write(ack[:]); err != nil {
+			return fmt.Errorf("transport: acking flow %d: %w", h.FlowID, err)
+		}
+	}
+}
+
+// Addrs returns the listen addresses, one per server.
+func (g *ServerGroup) Addrs() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, len(g.listeners))
+	for i, ln := range g.listeners {
+		out[i] = ln.Addr().String()
+	}
+	return out
+}
+
+// Close shuts every listener down and waits for in-flight connections.
+func (g *ServerGroup) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return ErrClosed
+	}
+	g.closed = true
+	var first error
+	for _, ln := range g.listeners {
+		if err := ln.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	g.mu.Unlock()
+	g.wg.Wait()
+	return first
+}

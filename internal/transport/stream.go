@@ -1,0 +1,202 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/units"
+)
+
+// FrameSource generates synthetic detector frames — the live analogue of
+// the Fig. 4 scan (frames of fixed size at a fixed interval).
+type FrameSource struct {
+	Frames    int
+	FrameSize units.ByteSize
+	Interval  time.Duration
+}
+
+// Validate checks the source.
+func (s FrameSource) Validate() error {
+	if s.Frames <= 0 {
+		return fmt.Errorf("transport: frames must be > 0, got %d", s.Frames)
+	}
+	if s.FrameSize <= 0 {
+		return fmt.Errorf("transport: frame size must be > 0, got %v", s.FrameSize)
+	}
+	if s.Interval < 0 {
+		return fmt.Errorf("transport: negative interval %v", s.Interval)
+	}
+	return nil
+}
+
+// TotalBytes returns the scan volume.
+func (s FrameSource) TotalBytes() int64 {
+	return int64(s.Frames) * int64(s.FrameSize.Bytes())
+}
+
+// LiveTimeline reports a live transfer run.
+type LiveTimeline struct {
+	// GenerationEnd is when the last frame was produced.
+	GenerationEnd time.Duration
+	// Completion is when the last byte was acknowledged remotely.
+	Completion time.Duration
+	// Bytes is the acknowledged total.
+	Bytes int64
+}
+
+// PostGeneration returns Completion − GenerationEnd.
+func (t LiveTimeline) PostGeneration() time.Duration {
+	return t.Completion - t.GenerationEnd
+}
+
+// StreamFrames runs the live streaming path: frames are produced on
+// schedule and written straight to one TCP connection as they appear
+// (memory to memory, no files). Each frame is a protocol flow on the
+// persistent connection, so the receiver acknowledges per frame.
+func StreamFrames(addr string, src FrameSource) (LiveTimeline, error) {
+	if err := src.Validate(); err != nil {
+		return LiveTimeline{}, err
+	}
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return LiveTimeline{}, fmt.Errorf("transport: dialing %s: %w", addr, err)
+	}
+	defer conn.Close()
+
+	frame := make([]byte, int(src.FrameSize.Bytes()))
+	start := time.Now()
+	var genEnd time.Duration
+	var total int64
+	for i := 0; i < src.Frames; i++ {
+		// Pace generation: frame i is ready at (i+1)*interval.
+		ready := time.Duration(i+1) * src.Interval
+		time.Sleep(time.Until(start.Add(ready)))
+		genEnd = time.Since(start)
+
+		if err := writeHeader(conn, header{Magic: Magic, FlowID: uint32(i), Length: uint64(len(frame))}); err != nil {
+			return LiveTimeline{}, fmt.Errorf("transport: frame %d header: %w", i, err)
+		}
+		if _, err := conn.Write(frame); err != nil {
+			return LiveTimeline{}, fmt.Errorf("transport: frame %d payload: %w", i, err)
+		}
+		var ack [8]byte
+		if _, err := io.ReadFull(conn, ack[:]); err != nil {
+			return LiveTimeline{}, fmt.Errorf("transport: frame %d ack: %w", i, err)
+		}
+		total += int64(binary.BigEndian.Uint64(ack[:]))
+	}
+	return LiveTimeline{
+		GenerationEnd: genEnd,
+		Completion:    time.Since(start),
+		Bytes:         total,
+	}, nil
+}
+
+// StageAndTransfer runs the live file-based path: frames are written to
+// files under dir as they are produced (one file per frame), optionally
+// aggregated into larger transfer files, then each file is read back and
+// sent over TCP with a per-file protocol round trip — the live analogue
+// of the DTN's per-file overhead.
+//
+// aggregate is the number of transfer files (1..frames); it must divide
+// cleanly into the workflow the same way pipeline.FileBased distributes
+// frames (as evenly as possible).
+func StageAndTransfer(addr string, src FrameSource, dir string, aggregate int) (LiveTimeline, error) {
+	if err := src.Validate(); err != nil {
+		return LiveTimeline{}, err
+	}
+	if aggregate < 1 || aggregate > src.Frames {
+		return LiveTimeline{}, fmt.Errorf("transport: aggregate %d out of [1,%d]", aggregate, src.Frames)
+	}
+	if dir == "" {
+		return LiveTimeline{}, fmt.Errorf("transport: empty staging dir")
+	}
+
+	start := time.Now()
+	frame := make([]byte, int(src.FrameSize.Bytes()))
+
+	// Phase 1: stage frames as individual files, paced by generation.
+	framePaths := make([]string, src.Frames)
+	for i := 0; i < src.Frames; i++ {
+		ready := time.Duration(i+1) * src.Interval
+		time.Sleep(time.Until(start.Add(ready)))
+		p := filepath.Join(dir, fmt.Sprintf("frame-%06d.raw", i))
+		if err := os.WriteFile(p, frame, 0o644); err != nil {
+			return LiveTimeline{}, fmt.Errorf("transport: staging frame %d: %w", i, err)
+		}
+		framePaths[i] = p
+	}
+	genEnd := time.Since(start)
+
+	// Phase 2: aggregate into transfer files (skip when one per frame).
+	var transferPaths []string
+	if aggregate == src.Frames {
+		transferPaths = framePaths
+	} else {
+		base := src.Frames / aggregate
+		extra := src.Frames % aggregate
+		idx := 0
+		for j := 0; j < aggregate; j++ {
+			k := base
+			if j < extra {
+				k++
+			}
+			p := filepath.Join(dir, fmt.Sprintf("agg-%04d.raw", j))
+			out, err := os.Create(p)
+			if err != nil {
+				return LiveTimeline{}, fmt.Errorf("transport: creating aggregate %d: %w", j, err)
+			}
+			for f := 0; f < k; f++ {
+				data, err := os.ReadFile(framePaths[idx])
+				if err != nil {
+					out.Close()
+					return LiveTimeline{}, fmt.Errorf("transport: aggregating frame %d: %w", idx, err)
+				}
+				if _, err := out.Write(data); err != nil {
+					out.Close()
+					return LiveTimeline{}, fmt.Errorf("transport: writing aggregate %d: %w", j, err)
+				}
+				idx++
+			}
+			if err := out.Close(); err != nil {
+				return LiveTimeline{}, fmt.Errorf("transport: closing aggregate %d: %w", j, err)
+			}
+			transferPaths = append(transferPaths, p)
+		}
+	}
+
+	// Phase 3: transfer each file with a per-file round trip.
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return LiveTimeline{}, fmt.Errorf("transport: dialing %s: %w", addr, err)
+	}
+	defer conn.Close()
+	var total int64
+	for j, p := range transferPaths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return LiveTimeline{}, fmt.Errorf("transport: reading %s: %w", p, err)
+		}
+		if err := writeHeader(conn, header{Magic: Magic, FlowID: uint32(j), Length: uint64(len(data))}); err != nil {
+			return LiveTimeline{}, fmt.Errorf("transport: file %d header: %w", j, err)
+		}
+		if _, err := conn.Write(data); err != nil {
+			return LiveTimeline{}, fmt.Errorf("transport: file %d payload: %w", j, err)
+		}
+		var ack [8]byte
+		if _, err := io.ReadFull(conn, ack[:]); err != nil {
+			return LiveTimeline{}, fmt.Errorf("transport: file %d ack: %w", j, err)
+		}
+		total += int64(binary.BigEndian.Uint64(ack[:]))
+	}
+	return LiveTimeline{
+		GenerationEnd: genEnd,
+		Completion:    time.Since(start),
+		Bytes:         total,
+	}, nil
+}

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/tcpsim"
+	"repro/internal/units"
+)
+
+// Secondary sweep axes beyond Table 2's (concurrency × parallel flows):
+// base RTT and transfer size. These feed the RTT/size sensitivity
+// analyses and let facility operators measure their own parameter
+// neighborhoods instead of the paper's.
+
+// SweepRTT runs the same experiment across base RTTs and returns one
+// series of (RTT seconds, worst-case FCT seconds).
+func SweepRTT(e Experiment, rtts []time.Duration) (stats.Series, error) {
+	if len(rtts) == 0 {
+		return stats.Series{}, fmt.Errorf("workload: no RTTs to sweep")
+	}
+	s := stats.Series{Name: "worst vs RTT"}
+	for _, rtt := range rtts {
+		if rtt <= 0 {
+			return stats.Series{}, fmt.Errorf("workload: non-positive RTT %v", rtt)
+		}
+		exp := e
+		exp.Net.BaseRTT = rtt
+		res, err := Run(exp)
+		if err != nil {
+			return stats.Series{}, fmt.Errorf("workload: RTT %v: %w", rtt, err)
+		}
+		s.AddPoint(rtt.Seconds(), res.WorstFCT.Seconds())
+	}
+	return s, nil
+}
+
+// SweepSize runs the same experiment across transfer sizes and returns
+// one series of (size bytes, worst-case FCT seconds). Concurrency is
+// held constant, so offered load scales with size; callers who want a
+// fixed load should scale concurrency inversely.
+func SweepSize(e Experiment, sizes []units.ByteSize) (stats.Series, error) {
+	if len(sizes) == 0 {
+		return stats.Series{}, fmt.Errorf("workload: no sizes to sweep")
+	}
+	s := stats.Series{Name: "worst vs size"}
+	for _, size := range sizes {
+		if size <= 0 {
+			return stats.Series{}, fmt.Errorf("workload: non-positive size %v", size)
+		}
+		exp := e
+		exp.TransferSize = size
+		res, err := Run(exp)
+		if err != nil {
+			return stats.Series{}, fmt.Errorf("workload: size %v: %w", size, err)
+		}
+		s.AddPoint(size.Bytes(), res.WorstFCT.Seconds())
+	}
+	return s, nil
+}
+
+// SweepCross runs the same experiment across background cross-traffic
+// fractions (constant background), returning (fraction, worst FCT).
+func SweepCross(e Experiment, fractions []float64) (stats.Series, error) {
+	if len(fractions) == 0 {
+		return stats.Series{}, fmt.Errorf("workload: no fractions to sweep")
+	}
+	s := stats.Series{Name: "worst vs cross-traffic"}
+	for _, f := range fractions {
+		exp := e
+		exp.Net.Cross = tcpsim.CrossTraffic{Fraction: f}
+		if err := exp.Net.Cross.Validate(); err != nil {
+			return stats.Series{}, err
+		}
+		res, err := Run(exp)
+		if err != nil {
+			return stats.Series{}, fmt.Errorf("workload: cross %.2f: %w", f, err)
+		}
+		s.AddPoint(f, res.WorstFCT.Seconds())
+	}
+	return s, nil
+}

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+func axisExperiment() Experiment {
+	e := DefaultExperiment()
+	e.Duration = 2 * time.Second
+	e.Concurrency = 6 // 96% offered: congestion-sensitive
+	return e
+}
+
+func TestSweepRTTMonotone(t *testing.T) {
+	e := axisExperiment()
+	s, err := SweepRTT(e, []time.Duration{4 * time.Millisecond, 16 * time.Millisecond, 64 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("points = %d", s.Len())
+	}
+	// Longer paths can only hurt the worst case (slow start and
+	// recovery are RTT-bound). Allow 10% noise from loss randomization.
+	if s.Y[2] < s.Y[0]*0.9 {
+		t.Fatalf("worst at 64ms (%v) should not beat 4ms (%v)", s.Y[2], s.Y[0])
+	}
+	if _, err := SweepRTT(e, nil); err == nil {
+		t.Error("empty RTTs accepted")
+	}
+	if _, err := SweepRTT(e, []time.Duration{0}); err == nil {
+		t.Error("zero RTT accepted")
+	}
+}
+
+func TestSweepSizeGrows(t *testing.T) {
+	e := axisExperiment()
+	e.Concurrency = 2 // keep sub-saturation even at the largest size
+	s, err := SweepSize(e, []units.ByteSize{0.1 * units.GB, 0.5 * units.GB, 1 * units.GB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < s.Len(); i++ {
+		if s.Y[i] <= s.Y[i-1] {
+			t.Fatalf("worst FCT must grow with size: %v", s.Y)
+		}
+	}
+	if _, err := SweepSize(e, nil); err == nil {
+		t.Error("empty sizes accepted")
+	}
+	if _, err := SweepSize(e, []units.ByteSize{0}); err == nil {
+		t.Error("zero size accepted")
+	}
+}
+
+func TestSweepCrossGrows(t *testing.T) {
+	e := axisExperiment()
+	e.Concurrency = 3 // 48% foreground leaves room for background
+	s, err := SweepCross(e, []float64{0, 0.3, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Y[2] <= s.Y[0] {
+		t.Fatalf("50%% background (%v) should hurt vs idle (%v)", s.Y[2], s.Y[0])
+	}
+	if _, err := SweepCross(e, nil); err == nil {
+		t.Error("empty fractions accepted")
+	}
+	if _, err := SweepCross(e, []float64{2}); err == nil {
+		t.Error("invalid fraction accepted")
+	}
+}
+
+func TestSweepErrorsPropagate(t *testing.T) {
+	e := axisExperiment()
+	e.Net.MaxTime = 0.001
+	if _, err := SweepRTT(e, []time.Duration{16 * time.Millisecond}); err == nil {
+		t.Error("horizon error swallowed by RTT sweep")
+	}
+	if _, err := SweepSize(e, []units.ByteSize{units.GB}); err == nil {
+		t.Error("horizon error swallowed by size sweep")
+	}
+	if _, err := SweepCross(e, []float64{0.1}); err == nil {
+		t.Error("horizon error swallowed by cross sweep")
+	}
+}

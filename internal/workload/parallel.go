@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// RunSweepParallel executes the sweep's cells across a worker pool.
+// Because every cell is seeded deterministically (base seed + cell
+// coordinates), the result is bit-identical to RunSweep regardless of
+// worker count or scheduling; rows come back in the same order.
+// workers <= 0 selects GOMAXPROCS.
+func RunSweepParallel(cfg SweepConfig, workers int) (*SweepResult, error) {
+	if len(cfg.Concurrencies) == 0 || len(cfg.ParallelFlows) == 0 {
+		return nil, fmt.Errorf("workload: empty sweep axes")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	type cell struct {
+		idx  int
+		conc int
+		p    int
+	}
+	cells := make([]cell, 0, cfg.Size())
+	for _, p := range cfg.ParallelFlows {
+		for _, conc := range cfg.Concurrencies {
+			cells = append(cells, cell{idx: len(cells), conc: conc, p: p})
+		}
+	}
+
+	rows := make([]SweepRow, len(cells))
+	errs := make([]error, len(cells))
+	var wg sync.WaitGroup
+	work := make(chan cell)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range work {
+				rows[c.idx], errs[c.idx] = runCell(cfg, c.conc, c.p)
+			}
+		}()
+	}
+	for _, c := range cells {
+		work <- c
+	}
+	close(work)
+	wg.Wait()
+
+	out := &SweepResult{Config: cfg}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("workload: sweep cell conc=%d P=%d: %w",
+				cells[i].conc, cells[i].p, err)
+		}
+	}
+	out.Rows = rows
+	return out, nil
+}
+
+// runCell executes one sweep cell; shared by the serial and parallel
+// drivers so both produce identical rows.
+func runCell(cfg SweepConfig, conc, p int) (SweepRow, error) {
+	e := Experiment{
+		Duration:      cfg.Duration,
+		Concurrency:   conc,
+		ParallelFlows: p,
+		TransferSize:  cfg.TransferSize,
+		Strategy:      cfg.Strategy,
+		Net:           cfg.Net,
+	}
+	// Vary the seed per cell so loss randomization differs across
+	// experiments, as separate testbed runs would.
+	e.Net.Seed = cfg.Net.Seed + int64(conc*100+p)
+	res, err := Run(e)
+	if err != nil {
+		return SweepRow{}, err
+	}
+	durations := stats.NewSample()
+	for _, c := range res.Clients {
+		durations.Add(c.TransferTime())
+	}
+	p50, _ := durations.Quantile(0.50)
+	p90, _ := durations.Quantile(0.90)
+	p99, _ := durations.Quantile(0.99)
+	return SweepRow{
+		Concurrency:   conc,
+		ParallelFlows: p,
+		OfferedLoad:   e.OfferedLoad(),
+		Utilization:   res.MeanUtilization,
+		Worst:         res.WorstFCT,
+		P50:           units.Seconds(p50),
+		P90:           units.Seconds(p90),
+		P99:           units.Seconds(p99),
+		SSS:           res.SSS,
+		Result:        res,
+	}, nil
+}

@@ -1,0 +1,330 @@
+// Package workload re-implements the paper's experimental orchestrator
+// (§4, published as the "Streaming Speed Score" scripts): it spawns
+// clients at a configured concurrency, each moving a fixed volume over P
+// parallel TCP flows, under two spawning strategies — simultaneous
+// batches that create instantaneous congestion spikes, and scheduled
+// spawning with bandwidth reservation. Instead of iperf3 on a FABRIC
+// testbed the transfers run on the internal/tcpsim bottleneck model; the
+// knobs and collected metrics match Table 2 of the paper.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tcpsim"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// Strategy selects how clients are spawned within each second.
+type Strategy int
+
+// Spawning strategies (paper §4: "two client spawning strategies").
+const (
+	// SpawnSimultaneous starts all of a second's clients at the same
+	// instant, creating an instantaneous congestion spike.
+	SpawnSimultaneous Strategy = iota
+	// SpawnScheduled spreads clients evenly within each second and
+	// reserves the link for one client at a time (paper Fig. 2b: "every
+	// transfer is scheduled to a specific time slot, and network
+	// bandwidth is reserved").
+	SpawnScheduled
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case SpawnSimultaneous:
+		return "simultaneous"
+	case SpawnScheduled:
+		return "scheduled"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Experiment is one cell of the paper's Table 2 sweep.
+type Experiment struct {
+	// Duration is how long clients keep spawning (paper: 10 s).
+	Duration time.Duration
+	// Concurrency is clients spawned per second (paper: 1–8).
+	Concurrency int
+	// ParallelFlows is P, TCP flows per client (paper: 2, 4, 8).
+	ParallelFlows int
+	// TransferSize is the volume each client moves (paper: 0.5 GB).
+	TransferSize units.ByteSize
+	// Strategy selects the spawning mode.
+	Strategy Strategy
+	// Net configures the simulated bottleneck.
+	Net tcpsim.Config
+}
+
+// DefaultExperiment mirrors one cell of Table 2.
+func DefaultExperiment() Experiment {
+	return Experiment{
+		Duration:      10 * time.Second,
+		Concurrency:   4,
+		ParallelFlows: 8,
+		TransferSize:  0.5 * units.GB,
+		Strategy:      SpawnSimultaneous,
+		Net:           tcpsim.DefaultConfig(),
+	}
+}
+
+// Validate checks the experiment parameters.
+func (e Experiment) Validate() error {
+	if e.Duration <= 0 {
+		return fmt.Errorf("workload: duration must be > 0, got %v", e.Duration)
+	}
+	if e.Concurrency <= 0 {
+		return fmt.Errorf("workload: concurrency must be > 0, got %d", e.Concurrency)
+	}
+	if e.ParallelFlows <= 0 || e.ParallelFlows >= 1000 {
+		return fmt.Errorf("workload: parallel flows must be in [1,999], got %d", e.ParallelFlows)
+	}
+	if e.TransferSize <= 0 {
+		return fmt.Errorf("workload: transfer size must be > 0, got %v", e.TransferSize)
+	}
+	return e.Net.Validate()
+}
+
+// OfferedLoad returns the offered load as a fraction of link capacity:
+// concurrency × size per second over capacity.
+func (e Experiment) OfferedLoad() float64 {
+	offered := float64(e.Concurrency) * e.TransferSize.Bytes() // bytes per second
+	return offered / e.Net.Capacity.ByteRate().BytesPerSecond()
+}
+
+// ClientResult is one client's completed transfer (the paper's
+// per-client transfer time log entry).
+type ClientResult struct {
+	ClientID int
+	// Spawn is when the orchestrator launched the client (s).
+	Spawn float64
+	// Start is when its transfer actually began (equals Spawn except in
+	// scheduled mode, where the reservation queue may delay it).
+	Start float64
+	// End is when the client's last flow finished (s).
+	End float64
+	// Bytes is the client's total payload.
+	Bytes float64
+	// Flows is P.
+	Flows int
+	// Retransmits aggregates retransmitted segments across the client's
+	// flows.
+	Retransmits int64
+}
+
+// TransferTime returns the client-observed transfer duration, measured
+// from transfer start — the quantity plotted in Fig. 2.
+func (c ClientResult) TransferTime() float64 { return c.End - c.Start }
+
+// Result is a completed experiment.
+type Result struct {
+	Experiment Experiment
+	Clients    []ClientResult
+	// MeanUtilization is the measured link utilization across the run —
+	// the x-axis of Fig. 2.
+	MeanUtilization float64
+	// WorstFCT is the maximum client transfer time (T_worst).
+	WorstFCT time.Duration
+	// Theoretical is size/capacity (T_theoretical).
+	Theoretical time.Duration
+	// SSS is the Streaming Speed Score WorstFCT/Theoretical.
+	SSS float64
+	// DroppedBytes counts payload dropped at the bottleneck
+	// (0 in scheduled mode).
+	DroppedBytes float64
+}
+
+// ErrNoClients is returned when an experiment produced no transfers.
+var ErrNoClients = errors.New("workload: experiment produced no clients")
+
+// Run executes the experiment on the simulated bottleneck.
+func Run(e Experiment) (*Result, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	switch e.Strategy {
+	case SpawnSimultaneous:
+		return runSimultaneous(e)
+	case SpawnScheduled:
+		return runScheduled(e)
+	default:
+		return nil, fmt.Errorf("workload: unknown strategy %d", int(e.Strategy))
+	}
+}
+
+// flowID encodes (client, flow) into a tcpsim flow ID.
+func flowID(client, flow int) int { return client*1000 + flow }
+
+func clientOf(id int) int { return id / 1000 }
+
+func runSimultaneous(e Experiment) (*Result, error) {
+	seconds := int(e.Duration.Seconds())
+	if seconds < 1 {
+		seconds = 1
+	}
+	perFlow := units.ByteSize(e.TransferSize.Bytes() / float64(e.ParallelFlows))
+	var specs []tcpsim.FlowSpec
+	spawnOf := make(map[int]float64)
+	client := 0
+	for sec := 0; sec < seconds; sec++ {
+		for k := 0; k < e.Concurrency; k++ {
+			spawn := float64(sec)
+			spawnOf[client] = spawn
+			for f := 0; f < e.ParallelFlows; f++ {
+				specs = append(specs, tcpsim.FlowSpec{
+					ID:      flowID(client, f),
+					Arrival: spawn,
+					Size:    perFlow,
+				})
+			}
+			client++
+		}
+	}
+	simRes, err := tcpsim.Run(e.Net, specs)
+	if err != nil {
+		return nil, fmt.Errorf("workload: simulating %d flows: %w", len(specs), err)
+	}
+
+	// Aggregate flows into clients: a client finishes when its last
+	// flow does.
+	type agg struct {
+		end         float64
+		bytes       float64
+		retransmits int64
+		flows       int
+	}
+	byClient := make(map[int]*agg)
+	for _, f := range simRes.Flows {
+		c := clientOf(f.ID)
+		a := byClient[c]
+		if a == nil {
+			a = &agg{}
+			byClient[c] = a
+		}
+		if f.End > a.end {
+			a.end = f.End
+		}
+		a.bytes += f.Bytes
+		a.retransmits += f.Retransmits
+		a.flows++
+	}
+	res := &Result{Experiment: e, DroppedBytes: simRes.DroppedBytes}
+	for c := 0; c < client; c++ {
+		a := byClient[c]
+		if a == nil {
+			continue
+		}
+		res.Clients = append(res.Clients, ClientResult{
+			ClientID:    c,
+			Spawn:       spawnOf[c],
+			Start:       spawnOf[c],
+			End:         a.end,
+			Bytes:       a.bytes,
+			Flows:       a.flows,
+			Retransmits: a.retransmits,
+		})
+	}
+	util, err := simRes.MeanUtilization(e.Net)
+	if err != nil {
+		return nil, fmt.Errorf("workload: utilization: %w", err)
+	}
+	res.MeanUtilization = util
+	return finalize(res)
+}
+
+func runScheduled(e Experiment) (*Result, error) {
+	seconds := int(e.Duration.Seconds())
+	if seconds < 1 {
+		seconds = 1
+	}
+	// Bandwidth reservation: one client occupies the link at a time, so
+	// every client's transfer behaves like the solo run. The solo FCT is
+	// identical across clients — compute it once.
+	soloFCT, err := tcpsim.SoloClientFCT(e.Net, e.TransferSize, e.ParallelFlows)
+	if err != nil {
+		return nil, fmt.Errorf("workload: solo client simulation: %w", err)
+	}
+	solo := soloFCT.Seconds()
+
+	res := &Result{Experiment: e}
+	linkFree := 0.0
+	client := 0
+	for sec := 0; sec < seconds; sec++ {
+		for k := 0; k < e.Concurrency; k++ {
+			spawn := float64(sec) + float64(k)/float64(e.Concurrency)
+			start := spawn
+			if start < linkFree {
+				start = linkFree
+			}
+			end := start + solo
+			linkFree = end
+			res.Clients = append(res.Clients, ClientResult{
+				ClientID: client,
+				Spawn:    spawn,
+				Start:    start,
+				End:      end,
+				Bytes:    e.TransferSize.Bytes(),
+				Flows:    e.ParallelFlows,
+			})
+			client++
+		}
+	}
+	// Utilization: payload over makespan at link rate.
+	makespan := linkFree
+	capBps := e.Net.Capacity.ByteRate().BytesPerSecond()
+	total := float64(client) * e.TransferSize.Bytes()
+	if makespan > 0 {
+		res.MeanUtilization = total / makespan / capBps
+	}
+	return finalize(res)
+}
+
+func finalize(res *Result) (*Result, error) {
+	if len(res.Clients) == 0 {
+		return nil, ErrNoClients
+	}
+	worst := 0.0
+	for _, c := range res.Clients {
+		if d := c.TransferTime(); d > worst {
+			worst = d
+		}
+	}
+	res.WorstFCT = units.Seconds(worst)
+	res.Theoretical = core.TheoreticalTransfer(res.Experiment.TransferSize, res.Experiment.Net.Capacity)
+	s, err := core.SSS(res.WorstFCT, res.Experiment.TransferSize, res.Experiment.Net.Capacity)
+	if err != nil {
+		return nil, fmt.Errorf("workload: scoring: %w", err)
+	}
+	res.SSS = s
+	return res, nil
+}
+
+// TraceLog converts the result into a trace.Log for archival, with the
+// experiment parameters recorded as metadata.
+func (r *Result) TraceLog() *trace.Log {
+	l := trace.NewLog()
+	l.SetMeta("strategy", r.Experiment.Strategy.String())
+	l.SetMeta("concurrency", strconv.Itoa(r.Experiment.Concurrency))
+	l.SetMeta("parallel_flows", strconv.Itoa(r.Experiment.ParallelFlows))
+	l.SetMeta("transfer_size_bytes", strconv.FormatFloat(r.Experiment.TransferSize.Bytes(), 'g', -1, 64))
+	l.SetMeta("duration_s", strconv.FormatFloat(r.Experiment.Duration.Seconds(), 'g', -1, 64))
+	l.SetMeta("capacity_bps", strconv.FormatFloat(r.Experiment.Net.Capacity.BitsPerSecond(), 'g', -1, 64))
+	for _, c := range r.Clients {
+		l.Add(trace.Transfer{
+			ClientID:    c.ClientID,
+			Flows:       c.Flows,
+			Bytes:       c.Bytes,
+			Start:       c.Start,
+			End:         c.End,
+			Retransmits: c.Retransmits,
+		})
+	}
+	return l
+}
