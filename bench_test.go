@@ -489,13 +489,59 @@ func BenchmarkDecide(b *testing.B) {
 }
 
 // BenchmarkTCPSimSaturated measures the TCP simulator on a saturating
-// burst (30 x 0.5 GB flows).
+// burst (30 x 0.5 GB flows), constructing a fresh engine per run (the
+// package-level Run path).
 func BenchmarkTCPSimSaturated(b *testing.B) {
 	cfg := tcpsim.DefaultConfig()
 	specs, _ := ablationSpecs()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := tcpsim.Run(cfg, specs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTCPSimEngineSteady measures the reusable engine on the same
+// burst. The perf contract (PERFORMANCE.md): 0 allocs/op once warmed.
+func BenchmarkTCPSimEngineSteady(b *testing.B) {
+	cfg := tcpsim.DefaultConfig()
+	specs, _ := ablationSpecs()
+	eng := tcpsim.NewEngine()
+	if _, err := eng.Run(cfg, specs); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(cfg, specs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepQuickSerial keeps the seed's serial sweep path measured —
+// the reference the cached/parallel pipeline is compared against.
+func BenchmarkSweepQuickSerial(b *testing.B) {
+	cfg := experiments.QuickSweep()
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.RunSweep(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunAllQuick regenerates the full artifact suite at test scale
+// through the cached parallel sweep pipeline (steady state: every sweep
+// is a cache hit).
+func BenchmarkRunAllQuick(b *testing.B) {
+	cfg := experiments.QuickSweep()
+	if _, err := experiments.RunAll(cfg); err != nil { // warm the sweep cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAll(cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,219 @@
+// Command benchjson measures the reproduction's hot paths and writes a
+// machine-readable BENCH_sweep.json, so the perf trajectory is tracked
+// PR-over-PR (see PERFORMANCE.md for the contract and history).
+//
+//	benchjson [-o BENCH_sweep.json] [-quick]
+//
+// Every scenario is measured with testing.Benchmark, so ns/op, B/op and
+// allocs/op mean exactly what `go test -bench` reports. Paper-relevant
+// outputs (worst-case transfer seconds, SSS) ride along as metrics, like
+// the root bench harness attaches via b.ReportMetric.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/tcpsim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Entry is one measured scenario.
+type Entry struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the BENCH_sweep.json schema.
+type Report struct {
+	Schema     string  `json:"schema"`
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Quick      bool    `json:"quick"`
+	Results    []Entry `json:"results"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// saturatingBurst is the shared overload workload of the root bench
+// harness: 5 s of 6 simultaneous 0.5 GB clients per second (96% offered
+// load) on the paper's 25 Gbps bottleneck.
+func saturatingBurst() []tcpsim.FlowSpec {
+	var specs []tcpsim.FlowSpec
+	id := 0
+	for sec := 0; sec < 5; sec++ {
+		for c := 0; c < 6; c++ {
+			specs = append(specs, tcpsim.FlowSpec{ID: id, Arrival: float64(sec), Size: 0.5 * units.GB})
+			id++
+		}
+	}
+	return specs
+}
+
+func measure(name string, metrics map[string]float64, fn func(b *testing.B)) Entry {
+	r := testing.Benchmark(fn)
+	return Entry{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		Metrics:     metrics,
+	}
+}
+
+// sweepMetrics extracts the paper-facing outputs of a sweep.
+func sweepMetrics(sweep *workload.SweepResult) map[string]float64 {
+	worst := time.Duration(0)
+	sss := 0.0
+	for _, row := range sweep.Rows {
+		if row.Worst > worst {
+			worst = row.Worst
+		}
+		if row.SSS > sss {
+			sss = row.SSS
+		}
+	}
+	return map[string]float64{"worst_s": worst.Seconds(), "sss": sss}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	outPath := fs.String("o", "BENCH_sweep.json", "output path")
+	quick := fs.Bool("quick", false, "skip paper-scale scenarios (CI smoke run)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	report := Report{
+		Schema:     "bench_sweep/v1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      *quick,
+	}
+	cfg := tcpsim.DefaultConfig()
+	burst := saturatingBurst()
+	quickCfg := experiments.QuickSweep()
+
+	// The engine perf contract: a warmed engine must stay allocation-free
+	// for whole runs (AllocsPerOp 0 here; enforced hard by the tcpsim
+	// tests).
+	eng := tcpsim.NewEngine()
+	if _, err := eng.Run(cfg, burst); err != nil {
+		return err
+	}
+	report.Results = append(report.Results, measure("tcpsim_engine_steady", nil, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Run(cfg, burst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// Cold path (fresh engine per call) — comparable to the seed's
+	// BenchmarkTCPSimSaturated (53 µs, 529 allocs at the seed).
+	report.Results = append(report.Results, measure("tcpsim_run_cold", nil, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := tcpsim.Run(cfg, burst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// The seed's serial sweep path, kept as the speedup reference.
+	serial, err := workload.RunSweep(quickCfg)
+	if err != nil {
+		return err
+	}
+	report.Results = append(report.Results, measure("sweep_quick_serial", sweepMetrics(serial), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := workload.RunSweep(quickCfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	report.Results = append(report.Results, measure("sweep_quick_parallel", sweepMetrics(serial), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := workload.RunSweepParallel(quickCfg, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// RunAll regenerates every artifact. Cold purges the sweep cache each
+	// iteration; cached is the steady state the figure pipeline sees.
+	report.Results = append(report.Results, measure("runall_quick_cold", nil, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			workload.PurgeSweepCache()
+			if _, err := experiments.RunAll(quickCfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	report.Results = append(report.Results, measure("runall_quick_cached", nil, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.RunAll(quickCfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	if !*quick {
+		paperCfg := experiments.PaperSweep()
+		fig2a, err := experiments.Fig2a(paperCfg)
+		if err != nil {
+			return err
+		}
+		report.Results = append(report.Results, measure("fig2a_paper_cached", sweepMetrics(fig2a.Sweep), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Fig2a(paperCfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+		report.Results = append(report.Results, measure("sweep_paper_parallel", sweepMetrics(fig2a.Sweep), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := paperCfg
+				cfg.Strategy = workload.SpawnSimultaneous
+				if _, err := workload.RunSweepParallel(cfg, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s (%d scenarios)\n", *outPath, len(report.Results))
+	for _, e := range report.Results {
+		fmt.Fprintf(out, "  %-22s %12.0f ns/op %8d B/op %6d allocs/op\n",
+			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+	}
+	return nil
+}

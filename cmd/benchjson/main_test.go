@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBenchJSONQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchjson smoke run is itself a benchmark")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_sweep.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-o", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if rep.Schema != "bench_sweep/v1" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	want := map[string]bool{
+		"tcpsim_engine_steady": false,
+		"tcpsim_run_cold":      false,
+		"sweep_quick_serial":   false,
+		"sweep_quick_parallel": false,
+		"runall_quick_cold":    false,
+		"runall_quick_cached":  false,
+	}
+	for _, e := range rep.Results {
+		if _, ok := want[e.Name]; ok {
+			want[e.Name] = true
+		}
+		if e.NsPerOp <= 0 || e.Iterations <= 0 {
+			t.Errorf("%s: empty measurement %+v", e.Name, e)
+		}
+		switch e.Name {
+		case "tcpsim_engine_steady":
+			// The perf contract: warmed engine runs allocate nothing.
+			if e.AllocsPerOp != 0 {
+				t.Errorf("engine steady state allocates %d/op, want 0", e.AllocsPerOp)
+			}
+		case "sweep_quick_serial", "sweep_quick_parallel":
+			if e.Metrics["worst_s"] <= 0 || e.Metrics["sss"] < 1 {
+				t.Errorf("%s: implausible sweep metrics %v", e.Name, e.Metrics)
+			}
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("scenario %s missing from report", name)
+		}
+	}
+}

@@ -108,8 +108,11 @@ func Fig2b(cfg workload.SweepConfig) (*Fig2Result, error) {
 
 func fig2(cfg workload.SweepConfig, id, title string) (*Fig2Result, error) {
 	// The parallel driver is bit-identical to the serial one (cells are
-	// independently seeded); use all cores.
-	sweep, err := workload.RunSweepParallel(cfg, 0)
+	// independently seeded); use all cores. Results are memoized by
+	// config fingerprint, so regenerating Fig. 2a for Fig. 3, the case
+	// study, or repeated benchmark iterations reruns nothing — the
+	// shared sweep must be treated as read-only.
+	sweep, err := workload.RunSweepCached(cfg, 0)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s sweep: %w", id, err)
 	}

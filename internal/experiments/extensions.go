@@ -108,8 +108,8 @@ func VariabilityReport(sweep *workload.SweepResult) (Artifact, error) {
 	}
 
 	fcts := stats.NewSample()
-	for _, c := range cell.Result.Clients {
-		fcts.Add(c.TransferTime())
+	for _, d := range cell.TransferTimes {
+		fcts.Add(d)
 	}
 
 	// The §5 coherent-scattering parameters, deadline Tier 2.

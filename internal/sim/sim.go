@@ -145,6 +145,12 @@ func NewRNG(seed int64) *RNG {
 	return &RNG{r: rand.New(rand.NewSource(seed))}
 }
 
+// Reseed rewinds the generator to the start of the stream for seed,
+// producing exactly the sequence NewRNG(seed) would. It exists so hot
+// paths (tcpsim's reusable engine) can reset a generator without
+// allocating a new one.
+func (g *RNG) Reseed(seed int64) { g.r.Seed(seed) }
+
 // Float64 returns a uniform value in [0, 1).
 func (g *RNG) Float64() float64 { return g.r.Float64() }
 

@@ -33,6 +33,11 @@ func (c *LinkCounters) Record(t, cumBytes float64, cumPackets int64) error {
 // Len returns the number of recorded samples.
 func (c *LinkCounters) Len() int { return len(c.samples) }
 
+// Reset discards all samples while keeping the underlying capacity, so a
+// reused recorder (tcpsim's engine) stays allocation-free in steady
+// state.
+func (c *LinkCounters) Reset() { c.samples = c.samples[:0] }
+
 // UtilizationInterval is the average utilization over one sampling
 // interval, derived from consecutive cumulative counters.
 type UtilizationInterval struct {

@@ -112,7 +112,11 @@ func TestCubicDeterministic(t *testing.T) {
 func TestCubicWindowShape(t *testing.T) {
 	// Unit-test the cubic window function itself: at tt == K the window
 	// equals wmax; it is concave-then-convex around that point.
-	f := &flow{wmaxSeg: 100, kCubic: 2}
+	e := NewEngine()
+	e.grow(1)
+	e.wmaxSeg[0] = 100
+	e.kCubic[0] = 2
+	f := cubicAt{e}
 	mss := 1000.0
 	atK := f.cubicWindow(2, mss)
 	if atK != 100*mss {
@@ -130,3 +134,9 @@ func TestCubicWindowShape(t *testing.T) {
 		t.Fatalf("cubic asymmetry: %v vs %v", d1, d2)
 	}
 }
+
+// cubicAt adapts the engine's slot-indexed cubic window to the old
+// single-flow call shape used by this test.
+type cubicAt struct{ e *Engine }
+
+func (c cubicAt) cubicWindow(tt, mss float64) float64 { return c.e.cubicWindow(0, tt, mss) }

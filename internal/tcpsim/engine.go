@@ -1,0 +1,564 @@
+package tcpsim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// Engine is a reusable TCP simulation engine. It holds every buffer the
+// round loop needs — per-flow state as structure-of-arrays, the active
+// set, and the per-round scratch vectors — so that repeated Run calls on
+// workloads of similar size perform zero allocations in steady state
+// (enforced by TestEngineSteadyStateAllocs).
+//
+// The engine produces results bit-identical to the original pointer-based
+// implementation (see reference_test.go): flows are processed in stable
+// arrival order, the active set is compacted in place preserving order
+// (a swap-compact would reorder the per-flow RNG severity draws and
+// change results), and every floating-point expression keeps the original
+// evaluation order.
+//
+// An Engine is not safe for concurrent use. The *Result returned by Run
+// aliases engine-owned storage and is valid only until the next Run or
+// SoloClientFCT call on the same engine; callers that retain results
+// across runs must copy what they need first. The package-level Run
+// constructs a fresh engine per call and therefore has no such aliasing.
+type Engine struct {
+	rng *sim.RNG
+
+	// Per-flow state, indexed by slot (pending order: stable-sorted by
+	// arrival). Structure-of-arrays keeps the round loop walking dense
+	// float64 slices instead of chasing *flow pointers.
+	id         []int
+	arrival    []float64
+	size       []float64 // original payload, bytes
+	remaining  []float64 // bytes not yet acknowledged
+	cwnd       []float64 // congestion window, bytes
+	ssthresh   []float64 // slow-start threshold, bytes
+	stalledTo  []float64 // RTO: no transmission before this time
+	wmaxSeg    []float64 // CUBIC: window at last loss, segments
+	epochStart []float64 // CUBIC: time of last loss (-1: no epoch yet)
+	kCubic     []float64 // CUBIC: time to regain wmax, seconds
+	retrans    []int64
+	timeouts   []int
+	endT       []float64
+	done       []bool
+
+	// Sort scratch: spec indices, stable-ordered by arrival.
+	order    []int32
+	orderTmp []int32
+
+	// Active set (slots) and per-round scratch, reused every round.
+	active  []int32
+	offered []float64
+	lost    []float64
+	weights []float64
+
+	// Result storage, reused across runs.
+	finished    []FlowResult
+	finishedTmp []FlowResult
+	counters    stats.LinkCounters
+	qx, qy      []float64 // QueueDepth backing, reused when RecordQueue
+	res         Result
+
+	soloSpecs []FlowSpec // scratch for SoloClientFCT
+}
+
+// NewEngine returns an engine ready for Run. Buffers grow on first use
+// and are retained across runs.
+func NewEngine() *Engine {
+	return &Engine{rng: sim.NewRNG(0)}
+}
+
+// grow sizes every per-flow buffer for n flows, reusing capacity. New
+// capacity doubles at minimum so sweeps whose cells ascend in size
+// (Table 2's concurrency axis) stop reallocating once, not per cell.
+func (e *Engine) grow(n int) {
+	if cap(e.arrival) < n {
+		c := 2 * cap(e.arrival)
+		if c < n {
+			c = n
+		}
+		e.id = make([]int, n, c)
+		e.arrival = make([]float64, n, c)
+		e.size = make([]float64, n, c)
+		e.remaining = make([]float64, n, c)
+		e.cwnd = make([]float64, n, c)
+		e.ssthresh = make([]float64, n, c)
+		e.stalledTo = make([]float64, n, c)
+		e.wmaxSeg = make([]float64, n, c)
+		e.epochStart = make([]float64, n, c)
+		e.kCubic = make([]float64, n, c)
+		e.retrans = make([]int64, n, c)
+		e.timeouts = make([]int, n, c)
+		e.endT = make([]float64, n, c)
+		e.done = make([]bool, n, c)
+		e.order = make([]int32, n, c)
+		e.orderTmp = make([]int32, n, c)
+		e.active = make([]int32, 0, c)
+		e.offered = make([]float64, n, c)
+		e.lost = make([]float64, n, c)
+		e.weights = make([]float64, n, c)
+		e.finished = make([]FlowResult, 0, c)
+		e.finishedTmp = make([]FlowResult, n, c)
+		return
+	}
+	e.id = e.id[:n]
+	e.arrival = e.arrival[:n]
+	e.size = e.size[:n]
+	e.remaining = e.remaining[:n]
+	e.cwnd = e.cwnd[:n]
+	e.ssthresh = e.ssthresh[:n]
+	e.stalledTo = e.stalledTo[:n]
+	e.wmaxSeg = e.wmaxSeg[:n]
+	e.epochStart = e.epochStart[:n]
+	e.kCubic = e.kCubic[:n]
+	e.retrans = e.retrans[:n]
+	e.timeouts = e.timeouts[:n]
+	e.endT = e.endT[:n]
+	e.done = e.done[:n]
+	e.order = e.order[:n]
+	e.orderTmp = e.orderTmp[:n]
+	e.offered = e.offered[:n]
+	e.lost = e.lost[:n]
+	e.weights = e.weights[:n]
+}
+
+// mergeSortStable sorts a in place via bottom-up merges through tmp
+// (len(tmp) >= len(a)), allocation-free. Merges take from the left run
+// on ties, so equal keys keep input order — the same stability contract
+// as sort.SliceStable. The comparison context rides in ctx through a
+// static function value: a capturing closure here would heap-allocate
+// and break the engine's zero-alloc contract.
+func mergeSortStable[T, C any](a, tmp []T, ctx C, less func(C, *T, *T) bool) {
+	n := len(a)
+	x, y := a, tmp[:n]
+	for width := 1; width < n; width *= 2 {
+		for lo := 0; lo < n; lo += 2 * width {
+			mid := lo + width
+			hi := mid + width
+			if mid > n {
+				mid = n
+			}
+			if hi > n {
+				hi = n
+			}
+			i, j, k := lo, mid, lo
+			for i < mid && j < hi {
+				if less(ctx, &x[j], &x[i]) {
+					y[k] = x[j]
+					j++
+				} else {
+					y[k] = x[i]
+					i++
+				}
+				k++
+			}
+			for i < mid {
+				y[k] = x[i]
+				i++
+				k++
+			}
+			for j < hi {
+				y[k] = x[j]
+				j++
+				k++
+			}
+		}
+		x, y = y, x
+	}
+	if n > 0 && &x[0] != &a[0] {
+		copy(a, x)
+	}
+}
+
+func slotArrivalLess(specs []FlowSpec, x, y *int32) bool {
+	return specs[*x].Arrival < specs[*y].Arrival
+}
+
+func finishedLess(_ struct{}, x, y *FlowResult) bool {
+	if x.Arrival != y.Arrival {
+		return x.Arrival < y.Arrival
+	}
+	return x.ID < y.ID
+}
+
+// sortSlotsByArrival stable-sorts order by specs arrival. Stability
+// matches the original sort.SliceStable: equal arrivals keep spec order,
+// which fixes both the RNG draw order and the finish order of
+// simultaneous flows.
+func sortSlotsByArrival(order, tmp []int32, specs []FlowSpec) {
+	mergeSortStable(order, tmp, specs, slotArrivalLess)
+}
+
+// flowResult assembles the FlowResult for a finished slot.
+func (e *Engine) flowResult(slot int32) FlowResult {
+	return FlowResult{
+		ID:          e.id[slot],
+		Arrival:     e.arrival[slot],
+		End:         e.endT[slot],
+		Bytes:       e.size[slot],
+		Retransmits: e.retrans[slot],
+		Timeouts:    e.timeouts[slot],
+	}
+}
+
+// activate moves flows whose arrival has passed from the pending queue
+// (slots next..n-1, arrival-sorted) into the active set; zero-size flows
+// complete instantly at arrival. Returns the new pending cursor.
+func (e *Engine) activate(now float64, next, n int) int {
+	for next < n && e.arrival[next] <= now {
+		slot := int32(next)
+		next++
+		if e.remaining[slot] <= 0 {
+			e.endT[slot] = e.arrival[slot]
+			e.finished = append(e.finished, e.flowResult(slot))
+			continue
+		}
+		e.active = append(e.active, slot)
+	}
+	return next
+}
+
+// CUBIC helpers on SoA state (same formulas as RFC 8312 shapes in the
+// flow-struct engine).
+
+func (e *Engine) cubicWindow(slot int32, tt, mss float64) float64 {
+	d := tt - e.kCubic[slot]
+	return (cubicC*d*d*d + e.wmaxSeg[slot]) * mss
+}
+
+func (e *Engine) cubicOnLoss(slot int32, now, mss float64) {
+	e.wmaxSeg[slot] = e.cwnd[slot] / mss
+	e.epochStart[slot] = now
+	e.kCubic[slot] = math.Cbrt(e.wmaxSeg[slot] * (1 - cubicBeta) / cubicC)
+}
+
+// sortFinishedStable stable-sorts the finished slice by (Arrival, ID).
+// Equal keys keep finish order — the tie-break sort.SliceStable applied.
+func (e *Engine) sortFinishedStable() {
+	n := len(e.finished)
+	if cap(e.finishedTmp) < n {
+		e.finishedTmp = make([]FlowResult, n)
+	}
+	mergeSortStable(e.finished, e.finishedTmp[:n], struct{}{}, finishedLess)
+}
+
+// Run simulates the flows over the shared bottleneck, reusing the
+// engine's buffers. The returned Result is engine-owned: it is valid
+// until the next Run/SoloClientFCT call on this engine.
+func (e *Engine) Run(cfg Config, specs []FlowSpec) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		return nil, ErrNoFlows
+	}
+	for _, s := range specs {
+		if s.Size < 0 || s.Arrival < 0 || math.IsNaN(s.Arrival) || math.IsInf(s.Arrival, 0) {
+			return nil, fmt.Errorf("%w: id=%d arrival=%v size=%v", ErrBadFlowSpec, s.ID, s.Arrival, s.Size)
+		}
+	}
+
+	e.rng.Reseed(cfg.Seed)
+	capacity := cfg.Capacity.ByteRate().BytesPerSecond() // bytes/s
+	crossPhase := 0.0
+	if cfg.Cross.enabled() && cfg.Cross.PhaseJitter && cfg.Cross.Period > 0 {
+		crossPhase = e.rng.Float64() * cfg.Cross.Period.Seconds()
+	}
+	mss := cfg.MSS.Bytes()
+	buffer := cfg.bufferBytes()
+	baseRTT := cfg.BaseRTT.Seconds()
+	rto := cfg.RTO.Seconds()
+	maxWin := cfg.BDP() + buffer // no point growing cwnd beyond pipe+queue
+	initCwnd := float64(cfg.InitCwndSegments) * mss
+	maxTime := cfg.maxTime()
+
+	// Lay the flows out in stable arrival order (the pending queue).
+	n := len(specs)
+	e.grow(n)
+	for i := range e.order {
+		e.order[i] = int32(i)
+	}
+	sortSlotsByArrival(e.order, e.orderTmp, specs)
+	for k, idx := range e.order {
+		s := specs[idx]
+		e.id[k] = s.ID
+		e.arrival[k] = s.Arrival
+		e.size[k] = s.Size.Bytes()
+		e.remaining[k] = s.Size.Bytes()
+		e.cwnd[k] = initCwnd
+		e.ssthresh[k] = maxWin
+		e.stalledTo[k] = 0
+		e.wmaxSeg[k] = 0
+		e.epochStart[k] = -1
+		e.kCubic[k] = 0
+		e.retrans[k] = 0
+		e.timeouts[k] = 0
+		e.endT[k] = 0
+		e.done[k] = false
+	}
+
+	// Reset reused result storage, keeping capacity. QueueDepth buffers
+	// attach only when recording, so a non-recording run leaves the
+	// zero-value Series exactly like the reference engine.
+	e.counters.Reset()
+	e.res = Result{Counters: &e.counters}
+	if cfg.RecordQueue {
+		e.res.QueueDepth = stats.Series{X: e.qx[:0], Y: e.qy[:0]}
+	}
+	e.active = e.active[:0]
+	e.finished = e.finished[:0]
+
+	t := e.arrival[0]
+	queue := 0.0       // backlog bytes in the bottleneck buffer
+	servedBytes := 0.0 // cumulative for counters
+	servedPkts := int64(0)
+	if err := e.counters.Record(t, 0, 0); err != nil {
+		return nil, err
+	}
+	nextPending := e.activate(t, 0, n)
+
+	for len(e.active) > 0 || nextPending < n {
+		if t > maxTime {
+			return nil, fmt.Errorf("%w (t=%.1fs, %d flows still active)", ErrHorizon, t, len(e.active))
+		}
+		if len(e.active) == 0 {
+			// Idle gap: the residual queue drains through the link
+			// (count it served), then jump to the next arrival.
+			if queue > 0 {
+				servedBytes += queue
+				servedPkts += int64(queue / mss)
+				if err := e.counters.Record(t+queue/capacity, servedBytes, servedPkts); err != nil {
+					return nil, err
+				}
+				queue = 0
+			}
+			t = e.arrival[nextPending]
+			nextPending = e.activate(t, nextPending, n)
+			continue
+		}
+
+		// Background cross-traffic shrinks the capacity available to the
+		// foreground flows this round.
+		roundCap := capacity * (1 - cfg.Cross.consumedAt(t, crossPhase))
+
+		// Round duration: base RTT plus the queueing delay data currently
+		// ahead of this round's packets experiences.
+		d := baseRTT + queue/roundCap
+
+		// Injections this round (offered/lost are per-active-index scratch;
+		// stale entries from larger prior rounds are never read).
+		na := len(e.active)
+		offered := e.offered[:na]
+		lost := e.lost[:na]
+		weights := e.weights[:na]
+		total := 0.0
+		for i, slot := range e.active {
+			lost[i] = 0
+			if t < e.stalledTo[slot] {
+				offered[i] = 0 // RTO stall: nothing sent this round
+				continue
+			}
+			w := math.Min(e.cwnd[slot], e.remaining[slot])
+			offered[i] = w
+			total += w
+		}
+
+		// Link service and queue evolution.
+		drain := roundCap * d
+		backlog := queue + total
+		served := math.Min(backlog, drain)
+		newQueue := backlog - served
+		dropped := 0.0
+		if newQueue > buffer {
+			dropped = newQueue - buffer
+			newQueue = buffer
+		}
+
+		// Allocate drops across flows proportionally to injections, with
+		// randomized severity so recoveries desynchronize (this is what
+		// grows the measured long tail).
+		if dropped > 0 && total > 0 {
+			wsum := 0.0
+			for i := range e.active {
+				if offered[i] <= 0 {
+					weights[i] = 0
+					continue
+				}
+				w := 0.5 + e.rng.Float64() // severity multiplier in [0.5, 1.5)
+				weights[i] = w * offered[i]
+				wsum += weights[i]
+			}
+			for i := range e.active {
+				if wsum <= 0 {
+					break
+				}
+				loss := dropped * weights[i] / wsum
+				if loss > offered[i] {
+					loss = offered[i]
+				}
+				lost[i] = loss
+			}
+		}
+
+		// Apply per-flow outcomes.
+		for i, slot := range e.active {
+			if offered[i] <= 0 {
+				continue
+			}
+			accepted := offered[i] - lost[i]
+			e.remaining[slot] -= accepted
+			if lost[i] > 0 {
+				e.retrans[slot] += int64(math.Ceil(lost[i] / mss))
+				lossRatio := lost[i] / offered[i]
+				if lossRatio > 0.95 {
+					// Whole window lost: retransmission timeout.
+					e.timeouts[slot]++
+					if cfg.CC == Cubic {
+						e.cubicOnLoss(slot, t+d+rto, mss)
+					}
+					e.ssthresh[slot] = math.Max(e.cwnd[slot]/2, 2*mss)
+					e.cwnd[slot] = mss
+					e.stalledTo[slot] = t + d + rto
+				} else {
+					// Fast recovery: multiplicative decrease.
+					switch cfg.CC {
+					case Cubic:
+						e.cubicOnLoss(slot, t+d, mss)
+						e.ssthresh[slot] = math.Max(e.cwnd[slot]*cubicBeta, 2*mss)
+					default: // Reno
+						e.ssthresh[slot] = math.Max(e.cwnd[slot]/2, 2*mss)
+					}
+					e.cwnd[slot] = e.ssthresh[slot]
+				}
+			} else {
+				// Window growth.
+				switch {
+				case e.cwnd[slot] < e.ssthresh[slot]:
+					e.cwnd[slot] = math.Min(e.cwnd[slot]*2, maxWin) // slow start
+				case cfg.CC == Cubic:
+					if e.epochStart[slot] < 0 {
+						// Entering congestion avoidance without a prior
+						// loss: anchor the epoch here.
+						e.cubicOnLoss(slot, t, mss)
+					}
+					tt := t + d - e.epochStart[slot]
+					target := e.cubicWindow(slot, tt, mss)
+					// RFC 8312 TCP-friendly region: CUBIC never grows
+					// slower than an AIMD flow with the same β —
+					// W_est = β·W_max + 3(1−β)/(1+β)·(t/RTT) segments.
+					// Without this floor CUBIC stalls in small-window
+					// regimes (its concave region is seconds long).
+					wEst := (e.wmaxSeg[slot]*cubicBeta +
+						3*(1-cubicBeta)/(1+cubicBeta)*(tt/d)) * mss
+					if wEst > target {
+						target = wEst
+					}
+					if target < e.cwnd[slot] {
+						target = e.cwnd[slot] // windows do not shrink without loss
+					}
+					if target > 1.5*e.cwnd[slot] {
+						target = 1.5 * e.cwnd[slot] // RFC 8312 max-probing cap
+					}
+					e.cwnd[slot] = math.Min(target, maxWin)
+				default: // Reno congestion avoidance
+					e.cwnd[slot] = math.Min(e.cwnd[slot]+mss, maxWin)
+				}
+			}
+			if e.remaining[slot] <= 0 {
+				e.done[slot] = true
+				// Finish within the round proportionally to how much of
+				// the round the last bytes needed.
+				frac := 1.0
+				if accepted > 0 {
+					need := e.remaining[slot] + accepted // remaining at round start
+					frac = need / accepted
+					if frac > 1 {
+						frac = 1
+					}
+				}
+				e.endT[slot] = t + d*frac
+			}
+		}
+
+		// Counters.
+		servedBytes += served
+		servedPkts += int64(served / mss)
+		e.res.DroppedBytes += dropped
+		if cfg.RecordQueue {
+			e.res.QueueDepth.AddPoint(t, newQueue)
+		}
+
+		// Advance time and compact the active set in place. Compaction is
+		// order-preserving on purpose: the severity RNG draws follow
+		// active order, so a swap-compact would change results.
+		t += d
+		if err := e.counters.Record(t, servedBytes, servedPkts); err != nil {
+			return nil, err
+		}
+		keep := e.active[:0]
+		for _, slot := range e.active {
+			if e.done[slot] {
+				e.finished = append(e.finished, e.flowResult(slot))
+			} else {
+				keep = append(keep, slot)
+			}
+		}
+		e.active = keep
+		queue = newQueue
+		nextPending = e.activate(t, nextPending, n)
+	}
+
+	// Drain whatever is left in the buffer: the last flows' accepted
+	// bytes may still be crossing the link.
+	if queue > 0 {
+		servedBytes += queue
+		servedPkts += int64(queue / mss)
+		t += queue / capacity
+		if err := e.counters.Record(t, servedBytes, servedPkts); err != nil {
+			return nil, err
+		}
+		queue = 0
+	}
+
+	e.sortFinishedStable()
+	e.res.Flows = e.finished
+	e.res.Duration = t
+	if cfg.RecordQueue {
+		// Recover grown capacity for the next recording run.
+		e.qx, e.qy = e.res.QueueDepth.X, e.res.QueueDepth.Y
+	}
+	return &e.res, nil
+}
+
+// SoloClientFCT is the engine-reusing form of the package-level
+// SoloClientFCT: one client moving size bytes over nFlows parallel flows
+// on an otherwise idle link, returning the client completion time.
+func (e *Engine) SoloClientFCT(cfg Config, size units.ByteSize, nFlows int) (time.Duration, error) {
+	if nFlows <= 0 {
+		return 0, fmt.Errorf("tcpsim: nFlows must be > 0, got %d", nFlows)
+	}
+	per := units.ByteSize(size.Bytes() / float64(nFlows))
+	specs := e.soloSpecs[:0]
+	for i := 0; i < nFlows; i++ {
+		specs = append(specs, FlowSpec{ID: i, Arrival: 0, Size: per})
+	}
+	e.soloSpecs = specs
+	res, err := e.Run(cfg, specs)
+	if err != nil {
+		return 0, err
+	}
+	end := 0.0
+	for _, f := range res.Flows {
+		if f.End > end {
+			end = f.End
+		}
+	}
+	return units.Seconds(end), nil
+}

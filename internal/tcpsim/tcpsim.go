@@ -20,11 +20,8 @@ package tcpsim
 import (
 	"errors"
 	"fmt"
-	"math"
-	"sort"
 	"time"
 
-	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/units"
 )
@@ -199,330 +196,19 @@ var (
 	ErrBadFlowSpec = errors.New("tcpsim: invalid flow spec")
 )
 
-// flow is the internal mutable state of one TCP connection.
-type flow struct {
-	spec      FlowSpec
-	remaining float64 // bytes not yet acknowledged
-	cwnd      float64 // congestion window, bytes
-	ssthresh  float64 // slow-start threshold, bytes
-	stalledTo float64 // RTO: no transmission before this time
-	active    bool
-	done      bool
-	result    FlowResult
-
-	// CUBIC state (RFC 8312 shapes, per-RTT granularity).
-	wmaxSeg    float64 // window at last loss, segments
-	epochStart float64 // time of last loss (-1: no epoch yet)
-	kCubic     float64 // time to regain wmax, seconds
-}
-
 // CUBIC constants: growth scale C and multiplicative decrease beta.
 const (
 	cubicC    = 0.4
 	cubicBeta = 0.7
 )
 
-// cubicWindow returns the CUBIC target window (bytes) at elapsed epoch
-// time tt.
-func (f *flow) cubicWindow(tt, mss float64) float64 {
-	d := tt - f.kCubic
-	return (cubicC*d*d*d + f.wmaxSeg) * mss
-}
-
-// cubicOnLoss resets the epoch after a multiplicative decrease at time
-// now.
-func (f *flow) cubicOnLoss(now, mss float64) {
-	f.wmaxSeg = f.cwnd / mss
-	f.epochStart = now
-	f.kCubic = math.Cbrt(f.wmaxSeg * (1 - cubicBeta) / cubicC)
-}
-
 // Run simulates the flows over the shared bottleneck and returns
-// per-flow completion times plus link counters.
+// per-flow completion times plus link counters. Each call constructs a
+// fresh Engine, so the returned Result is exclusively the caller's; hot
+// paths running many simulations should hold a reusable Engine instead,
+// whose steady-state rounds allocate nothing.
 func Run(cfg Config, specs []FlowSpec) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if len(specs) == 0 {
-		return nil, ErrNoFlows
-	}
-	for _, s := range specs {
-		if s.Size < 0 || s.Arrival < 0 || math.IsNaN(s.Arrival) || math.IsInf(s.Arrival, 0) {
-			return nil, fmt.Errorf("%w: id=%d arrival=%v size=%v", ErrBadFlowSpec, s.ID, s.Arrival, s.Size)
-		}
-	}
-
-	rng := sim.NewRNG(cfg.Seed)
-	capacity := cfg.Capacity.ByteRate().BytesPerSecond() // bytes/s
-	crossPhase := 0.0
-	if cfg.Cross.enabled() && cfg.Cross.PhaseJitter && cfg.Cross.Period > 0 {
-		crossPhase = rng.Float64() * cfg.Cross.Period.Seconds()
-	}
-	mss := cfg.MSS.Bytes()
-	buffer := cfg.bufferBytes()
-	baseRTT := cfg.BaseRTT.Seconds()
-	rto := cfg.RTO.Seconds()
-	maxWin := cfg.BDP() + buffer // no point growing cwnd beyond pipe+queue
-	initCwnd := float64(cfg.InitCwndSegments) * mss
-
-	// Pending flows sorted by arrival.
-	pending := make([]*flow, 0, len(specs))
-	for _, s := range specs {
-		f := &flow{
-			spec:       s,
-			remaining:  s.Size.Bytes(),
-			cwnd:       initCwnd,
-			ssthresh:   maxWin,
-			epochStart: -1,
-			result: FlowResult{
-				ID:      s.ID,
-				Arrival: s.Arrival,
-				Bytes:   s.Size.Bytes(),
-			},
-		}
-		pending = append(pending, f)
-	}
-	sort.SliceStable(pending, func(i, j int) bool { return pending[i].spec.Arrival < pending[j].spec.Arrival })
-
-	res := &Result{Counters: &stats.LinkCounters{}}
-	active := make([]*flow, 0, len(pending))
-	finished := make([]FlowResult, 0, len(pending))
-
-	t := pending[0].spec.Arrival
-	queue := 0.0       // backlog bytes in the bottleneck buffer
-	servedBytes := 0.0 // cumulative for counters
-	servedPkts := int64(0)
-	if err := res.Counters.Record(t, 0, 0); err != nil {
-		return nil, err
-	}
-
-	nextPending := 0
-	activate := func(now float64) {
-		for nextPending < len(pending) && pending[nextPending].spec.Arrival <= now {
-			f := pending[nextPending]
-			nextPending++
-			if f.remaining <= 0 {
-				// Zero-size flow: completes instantly at arrival.
-				f.result.End = f.spec.Arrival
-				finished = append(finished, f.result)
-				continue
-			}
-			f.active = true
-			active = append(active, f)
-		}
-	}
-	activate(t)
-
-	for len(active) > 0 || nextPending < len(pending) {
-		if t > cfg.maxTime() {
-			return nil, fmt.Errorf("%w (t=%.1fs, %d flows still active)", ErrHorizon, t, len(active))
-		}
-		if len(active) == 0 {
-			// Idle gap: the residual queue drains through the link
-			// (count it served), then jump to the next arrival.
-			if queue > 0 {
-				servedBytes += queue
-				servedPkts += int64(queue / mss)
-				if err := res.Counters.Record(t+queue/capacity, servedBytes, servedPkts); err != nil {
-					return nil, err
-				}
-				queue = 0
-			}
-			t = pending[nextPending].spec.Arrival
-			activate(t)
-			continue
-		}
-
-		// Background cross-traffic shrinks the capacity available to the
-		// foreground flows this round.
-		roundCap := capacity * (1 - cfg.Cross.consumedAt(t, crossPhase))
-
-		// Round duration: base RTT plus the queueing delay data currently
-		// ahead of this round's packets experiences.
-		d := baseRTT + queue/roundCap
-
-		// Injections this round.
-		offered := make([]float64, len(active))
-		total := 0.0
-		for i, f := range active {
-			if t < f.stalledTo {
-				continue // RTO stall: nothing sent this round
-			}
-			w := math.Min(f.cwnd, f.remaining)
-			offered[i] = w
-			total += w
-		}
-
-		// Link service and queue evolution.
-		drain := roundCap * d
-		backlog := queue + total
-		served := math.Min(backlog, drain)
-		newQueue := backlog - served
-		dropped := 0.0
-		if newQueue > buffer {
-			dropped = newQueue - buffer
-			newQueue = buffer
-		}
-
-		// Allocate drops across flows proportionally to injections, with
-		// randomized severity so recoveries desynchronize (this is what
-		// grows the measured long tail).
-		dropFrac := 0.0
-		if total > 0 {
-			dropFrac = dropped / total
-		}
-		lostPerFlow := make([]float64, len(active))
-		if dropped > 0 && total > 0 {
-			weights := make([]float64, len(active))
-			wsum := 0.0
-			for i := range active {
-				if offered[i] <= 0 {
-					continue
-				}
-				w := 0.5 + rng.Float64() // severity multiplier in [0.5, 1.5)
-				weights[i] = w * offered[i]
-				wsum += weights[i]
-			}
-			for i := range active {
-				if wsum <= 0 {
-					break
-				}
-				loss := dropped * weights[i] / wsum
-				if loss > offered[i] {
-					loss = offered[i]
-				}
-				lostPerFlow[i] = loss
-			}
-		}
-
-		// Apply per-flow outcomes.
-		for i, f := range active {
-			if offered[i] <= 0 {
-				continue
-			}
-			accepted := offered[i] - lostPerFlow[i]
-			f.remaining -= accepted
-			if lostPerFlow[i] > 0 {
-				f.result.Retransmits += int64(math.Ceil(lostPerFlow[i] / mss))
-				lossRatio := lostPerFlow[i] / offered[i]
-				if lossRatio > 0.95 {
-					// Whole window lost: retransmission timeout.
-					f.result.Timeouts++
-					if cfg.CC == Cubic {
-						f.cubicOnLoss(t+d+rto, mss)
-					}
-					f.ssthresh = math.Max(f.cwnd/2, 2*mss)
-					f.cwnd = mss
-					f.stalledTo = t + d + rto
-				} else {
-					// Fast recovery: multiplicative decrease.
-					switch cfg.CC {
-					case Cubic:
-						f.cubicOnLoss(t+d, mss)
-						f.ssthresh = math.Max(f.cwnd*cubicBeta, 2*mss)
-					default: // Reno
-						f.ssthresh = math.Max(f.cwnd/2, 2*mss)
-					}
-					f.cwnd = f.ssthresh
-				}
-			} else {
-				// Window growth.
-				switch {
-				case f.cwnd < f.ssthresh:
-					f.cwnd = math.Min(f.cwnd*2, maxWin) // slow start
-				case cfg.CC == Cubic:
-					if f.epochStart < 0 {
-						// Entering congestion avoidance without a prior
-						// loss: anchor the epoch here.
-						f.cubicOnLoss(t, mss)
-					}
-					tt := t + d - f.epochStart
-					target := f.cubicWindow(tt, mss)
-					// RFC 8312 TCP-friendly region: CUBIC never grows
-					// slower than an AIMD flow with the same β —
-					// W_est = β·W_max + 3(1−β)/(1+β)·(t/RTT) segments.
-					// Without this floor CUBIC stalls in small-window
-					// regimes (its concave region is seconds long).
-					wEst := (f.wmaxSeg*cubicBeta +
-						3*(1-cubicBeta)/(1+cubicBeta)*(tt/d)) * mss
-					if wEst > target {
-						target = wEst
-					}
-					if target < f.cwnd {
-						target = f.cwnd // windows do not shrink without loss
-					}
-					if target > 1.5*f.cwnd {
-						target = 1.5 * f.cwnd // RFC 8312 max-probing cap
-					}
-					f.cwnd = math.Min(target, maxWin)
-				default: // Reno congestion avoidance
-					f.cwnd = math.Min(f.cwnd+mss, maxWin)
-				}
-			}
-			if f.remaining <= 0 {
-				f.done = true
-				// Finish within the round proportionally to how much of
-				// the round the last bytes needed.
-				frac := 1.0
-				if accepted > 0 {
-					need := f.remaining + accepted // remaining at round start
-					frac = need / accepted
-					if frac > 1 {
-						frac = 1
-					}
-				}
-				f.result.End = t + d*frac
-			}
-		}
-		_ = dropFrac
-
-		// Counters.
-		servedBytes += served
-		servedPkts += int64(served / mss)
-		res.DroppedBytes += dropped
-		if cfg.RecordQueue {
-			res.QueueDepth.AddPoint(t, newQueue)
-		}
-
-		// Advance time and compact the active set.
-		t += d
-		if err := res.Counters.Record(t, servedBytes, servedPkts); err != nil {
-			return nil, err
-		}
-		keep := active[:0]
-		for _, f := range active {
-			if f.done {
-				finished = append(finished, f.result)
-			} else {
-				keep = append(keep, f)
-			}
-		}
-		active = keep
-		queue = newQueue
-		activate(t)
-	}
-
-	// Drain whatever is left in the buffer: the last flows' accepted
-	// bytes may still be crossing the link.
-	if queue > 0 {
-		servedBytes += queue
-		servedPkts += int64(queue / mss)
-		t += queue / capacity
-		if err := res.Counters.Record(t, servedBytes, servedPkts); err != nil {
-			return nil, err
-		}
-		queue = 0
-	}
-
-	sort.SliceStable(finished, func(i, j int) bool {
-		if finished[i].Arrival != finished[j].Arrival {
-			return finished[i].Arrival < finished[j].Arrival
-		}
-		return finished[i].ID < finished[j].ID
-	})
-	res.Flows = finished
-	res.Duration = t
-	return res, nil
+	return NewEngine().Run(cfg, specs)
 }
 
 // SoloClientFCT simulates a single client moving size bytes over nFlows
@@ -531,23 +217,5 @@ func Run(cfg Config, specs []FlowSpec) (*Result, error) {
 // Fig. 2b "scheduled, bandwidth-reserved" regime and is also used for
 // cross-validation against the fluid model.
 func SoloClientFCT(cfg Config, size units.ByteSize, nFlows int) (time.Duration, error) {
-	if nFlows <= 0 {
-		return 0, fmt.Errorf("tcpsim: nFlows must be > 0, got %d", nFlows)
-	}
-	per := units.ByteSize(size.Bytes() / float64(nFlows))
-	specs := make([]FlowSpec, nFlows)
-	for i := range specs {
-		specs[i] = FlowSpec{ID: i, Arrival: 0, Size: per}
-	}
-	res, err := Run(cfg, specs)
-	if err != nil {
-		return 0, err
-	}
-	end := 0.0
-	for _, f := range res.Flows {
-		if f.End > end {
-			end = f.End
-		}
-	}
-	return units.Seconds(end), nil
+	return NewEngine().SoloClientFCT(cfg, size, nFlows)
 }

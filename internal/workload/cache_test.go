@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/tcpsim"
+	"repro/internal/units"
+)
+
+func TestFingerprintDistinguishesConfigs(t *testing.T) {
+	base := fastSweep()
+	mutations := []struct {
+		name   string
+		mutate func(*SweepConfig)
+	}{
+		{"duration", func(c *SweepConfig) { c.Duration = 7 * time.Second }},
+		{"concurrencies", func(c *SweepConfig) { c.Concurrencies = []int{2, 4, 8} }},
+		{"parallel flows", func(c *SweepConfig) { c.ParallelFlows = []int{4} }},
+		{"transfer size", func(c *SweepConfig) { c.TransferSize = units.GB }},
+		{"strategy", func(c *SweepConfig) { c.Strategy = SpawnScheduled }},
+		{"keep results", func(c *SweepConfig) { c.KeepClientResults = true }},
+		{"seed", func(c *SweepConfig) { c.Net.Seed = 99 }},
+		{"capacity", func(c *SweepConfig) { c.Net.Capacity = 10 * units.Gbps }},
+		{"rtt", func(c *SweepConfig) { c.Net.BaseRTT = 32 * time.Millisecond }},
+		{"mss", func(c *SweepConfig) { c.Net.MSS = 1460 * units.Byte }},
+		{"buffer", func(c *SweepConfig) { c.Net.Buffer = units.MB }},
+		{"init cwnd", func(c *SweepConfig) { c.Net.InitCwndSegments = 4 }},
+		{"rto", func(c *SweepConfig) { c.Net.RTO = 400 * time.Millisecond }},
+		{"cc", func(c *SweepConfig) { c.Net.CC = tcpsim.Cubic }},
+		{"record queue", func(c *SweepConfig) { c.Net.RecordQueue = true }},
+		{"cross fraction", func(c *SweepConfig) { c.Net.Cross.Fraction = 0.3 }},
+		{"cross period", func(c *SweepConfig) {
+			c.Net.Cross.Fraction = 0.3
+			c.Net.Cross.Period = time.Second
+			c.Net.Cross.Duty = 0.5
+		}},
+		{"cross jitter", func(c *SweepConfig) {
+			c.Net.Cross.Fraction = 0.3
+			c.Net.Cross.Period = time.Second
+			c.Net.Cross.Duty = 0.5
+			c.Net.Cross.PhaseJitter = true
+		}},
+		{"max time", func(c *SweepConfig) { c.Net.MaxTime = 100 }},
+	}
+	seen := map[string]string{base.Fingerprint(): "base"}
+	for _, m := range mutations {
+		cfg := base
+		m.mutate(&cfg)
+		fp := cfg.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s: fingerprint collides with %s", m.name, prev)
+		}
+		seen[fp] = m.name
+	}
+	// Identity: same config, same fingerprint.
+	if base.Fingerprint() != fastSweep().Fingerprint() {
+		t.Error("equal configs produced different fingerprints")
+	}
+}
+
+// TestFingerprintCoversAllFields is the structural guard behind the
+// cache's soundness: Fingerprint enumerates config fields by hand, so
+// adding a field to any of these structs without teaching Fingerprint
+// about it would silently alias distinct sweeps. If this test fails,
+// update Fingerprint (and the mutation table above) in the same change.
+func TestFingerprintCoversAllFields(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		typ  reflect.Type
+		want int
+	}{
+		{"SweepConfig", reflect.TypeOf(SweepConfig{}), 7},
+		{"tcpsim.Config", reflect.TypeOf(tcpsim.Config{}), 11},
+		{"tcpsim.CrossTraffic", reflect.TypeOf(tcpsim.CrossTraffic{}), 4},
+	} {
+		if got := tc.typ.NumField(); got != tc.want {
+			t.Errorf("%s has %d fields, Fingerprint knows %d — update workload.SweepConfig.Fingerprint",
+				tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestSweepCacheHitsShareResult(t *testing.T) {
+	cache := NewSweepCache()
+	cfg := fastSweep()
+	a, err := cache.Get(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cache.Get(cfg, 2) // worker count must not key the cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("cache miss for identical config")
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", cache.Len())
+	}
+
+	other := cfg
+	other.Strategy = SpawnScheduled
+	c, err := cache.Get(other, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("different strategy shared a cache entry")
+	}
+	if cache.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", cache.Len())
+	}
+
+	cache.Purge()
+	if cache.Len() != 0 {
+		t.Fatalf("purged cache holds %d entries", cache.Len())
+	}
+	d, err := cache.Get(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == a {
+		t.Fatal("purge did not drop the entry")
+	}
+}
+
+func TestSweepCacheSingleFlight(t *testing.T) {
+	cache := NewSweepCache()
+	cfg := fastSweep()
+	const callers = 8
+	results := make([]*SweepResult, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := cache.Get(cfg, 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatal("concurrent Get returned distinct results")
+		}
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", cache.Len())
+	}
+}
+
+func TestSweepCachePropagatesErrors(t *testing.T) {
+	cache := NewSweepCache()
+	cfg := fastSweep()
+	cfg.Net.MaxTime = 0.01 // every cell exceeds the horizon
+	if _, err := cache.Get(cfg, 2); err == nil {
+		t.Fatal("horizon error swallowed by cache")
+	}
+	// Deterministic config → deterministic failure: the cached error is
+	// the correct answer for repeat lookups too.
+	if _, err := cache.Get(cfg, 2); err == nil {
+		t.Fatal("cached error lost on second lookup")
+	}
+}

@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/tcpsim"
+)
+
+// quickSweepShape mirrors experiments.QuickSweep (which this package
+// cannot import without a cycle): the scaled-down Table 2 sweep used by
+// tests and CI.
+func quickSweepShape() SweepConfig {
+	cfg := DefaultSweep()
+	cfg.Duration = 3 * time.Second
+	cfg.Concurrencies = []int{1, 3, 5, 6, 7, 8}
+	cfg.ParallelFlows = []int{2, 8}
+	return cfg
+}
+
+// TestSweepDeterminism is the reproduction's bit-identity contract: the
+// serial driver, the parallel driver at several worker counts, and the
+// SoA engine with no cross-cell buffer reuse (a fresh engine per cell)
+// must produce byte-identical SweepResult rows. Rows are compared via
+// their JSON encoding — Go prints floats with round-trip precision, so
+// equal bytes means equal bits.
+func TestSweepDeterminism(t *testing.T) {
+	cfg := quickSweepShape()
+
+	encode := func(rows []SweepRow) string {
+		b, err := json.Marshal(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	baseline, err := RunSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := encode(baseline.Rows)
+
+	drivers := []struct {
+		name string
+		run  func() ([]SweepRow, error)
+	}{
+		{"parallel workers=1", func() ([]SweepRow, error) {
+			r, err := RunSweepParallel(cfg, 1)
+			if err != nil {
+				return nil, err
+			}
+			return r.Rows, nil
+		}},
+		{"parallel workers=4", func() ([]SweepRow, error) {
+			r, err := RunSweepParallel(cfg, 4)
+			if err != nil {
+				return nil, err
+			}
+			return r.Rows, nil
+		}},
+		{"parallel workers=GOMAXPROCS", func() ([]SweepRow, error) {
+			r, err := RunSweepParallel(cfg, runtime.GOMAXPROCS(0))
+			if err != nil {
+				return nil, err
+			}
+			return r.Rows, nil
+		}},
+		{"fresh engine per cell", func() ([]SweepRow, error) {
+			var rows []SweepRow
+			for _, p := range cfg.ParallelFlows {
+				for _, conc := range cfg.Concurrencies {
+					row, err := runCell(cfg, conc, p, tcpsim.NewEngine())
+					if err != nil {
+						return nil, err
+					}
+					rows = append(rows, row)
+				}
+			}
+			return rows, nil
+		}},
+		{"cached", func() ([]SweepRow, error) {
+			r, err := NewSweepCache().Get(cfg, 0)
+			if err != nil {
+				return nil, err
+			}
+			return r.Rows, nil
+		}},
+	}
+	for _, d := range drivers {
+		rows, err := d.run()
+		if err != nil {
+			t.Fatalf("%s: %v", d.name, err)
+		}
+		if got := encode(rows); got != want {
+			t.Errorf("%s: rows not byte-identical to serial RunSweep", d.name)
+		}
+	}
+}
+
+// TestKeepClientResults checks the memory knob: rows carry full client
+// results only when asked, and the compact TransferTimes always agrees
+// with them.
+func TestKeepClientResults(t *testing.T) {
+	cfg := fastSweep()
+	lean, err := RunSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range lean.Rows {
+		if row.Result != nil {
+			t.Fatalf("conc=%d P=%d: Result retained with KeepClientResults off", row.Concurrency, row.ParallelFlows)
+		}
+		if len(row.TransferTimes) == 0 {
+			t.Fatalf("conc=%d P=%d: missing TransferTimes", row.Concurrency, row.ParallelFlows)
+		}
+	}
+
+	cfg.KeepClientResults = true
+	full, err := RunSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range full.Rows {
+		if row.Result == nil {
+			t.Fatalf("row %d: Result dropped with KeepClientResults on", i)
+		}
+		if len(row.TransferTimes) != len(row.Result.Clients) {
+			t.Fatalf("row %d: %d transfer times vs %d clients", i, len(row.TransferTimes), len(row.Result.Clients))
+		}
+		for j, c := range row.Result.Clients {
+			if row.TransferTimes[j] != c.TransferTime() {
+				t.Fatalf("row %d client %d: TransferTimes %v != client %v", i, j, row.TransferTimes[j], c.TransferTime())
+			}
+		}
+		// The knob must not change the measured rows themselves.
+		if row.Worst != lean.Rows[i].Worst || row.SSS != lean.Rows[i].SSS {
+			t.Fatalf("row %d: KeepClientResults changed measurements", i)
+		}
+	}
+
+	// Pooled population must be identical either way.
+	if full.AllTransferTimes().Len() != lean.AllTransferTimes().Len() {
+		t.Fatal("AllTransferTimes depends on KeepClientResults")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/stats"
+	"repro/internal/tcpsim"
 	"repro/internal/units"
 )
 
@@ -42,8 +43,11 @@ func RunSweepParallel(cfg SweepConfig, workers int) (*SweepResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One engine per worker: cells share its buffers, so the
+			// congestion loop allocates nothing after the first cell.
+			eng := tcpsim.NewEngine()
 			for c := range work {
-				rows[c.idx], errs[c.idx] = runCell(cfg, c.conc, c.p)
+				rows[c.idx], errs[c.idx] = runCell(cfg, c.conc, c.p, eng)
 			}
 		}()
 	}
@@ -64,9 +68,9 @@ func RunSweepParallel(cfg SweepConfig, workers int) (*SweepResult, error) {
 	return out, nil
 }
 
-// runCell executes one sweep cell; shared by the serial and parallel
-// drivers so both produce identical rows.
-func runCell(cfg SweepConfig, conc, p int) (SweepRow, error) {
+// runCell executes one sweep cell on the given engine; shared by the
+// serial and parallel drivers so both produce identical rows.
+func runCell(cfg SweepConfig, conc, p int, eng *tcpsim.Engine) (SweepRow, error) {
 	e := Experiment{
 		Duration:      cfg.Duration,
 		Concurrency:   conc,
@@ -78,18 +82,20 @@ func runCell(cfg SweepConfig, conc, p int) (SweepRow, error) {
 	// Vary the seed per cell so loss randomization differs across
 	// experiments, as separate testbed runs would.
 	e.Net.Seed = cfg.Net.Seed + int64(conc*100+p)
-	res, err := Run(e)
+	res, err := RunWithEngine(e, eng)
 	if err != nil {
 		return SweepRow{}, err
 	}
+	times := make([]float64, len(res.Clients))
 	durations := stats.NewSample()
-	for _, c := range res.Clients {
-		durations.Add(c.TransferTime())
+	for i, c := range res.Clients {
+		times[i] = c.TransferTime()
+		durations.Add(times[i])
 	}
 	p50, _ := durations.Quantile(0.50)
 	p90, _ := durations.Quantile(0.90)
 	p99, _ := durations.Quantile(0.99)
-	return SweepRow{
+	row := SweepRow{
 		Concurrency:   conc,
 		ParallelFlows: p,
 		OfferedLoad:   e.OfferedLoad(),
@@ -99,6 +105,10 @@ func runCell(cfg SweepConfig, conc, p int) (SweepRow, error) {
 		P90:           units.Seconds(p90),
 		P99:           units.Seconds(p99),
 		SSS:           res.SSS,
-		Result:        res,
-	}, nil
+		TransferTimes: times,
+	}
+	if cfg.KeepClientResults {
+		row.Result = res
+	}
+	return row, nil
 }

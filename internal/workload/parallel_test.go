@@ -6,6 +6,7 @@ import (
 
 func TestParallelMatchesSerial(t *testing.T) {
 	cfg := fastSweep()
+	cfg.KeepClientResults = true // compare full per-client records below
 	serial, err := RunSweep(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -19,6 +19,12 @@ type SweepConfig struct {
 	TransferSize  units.ByteSize
 	Strategy      Strategy
 	Net           tcpsim.Config
+	// KeepClientResults retains the full per-client *Result on every
+	// SweepRow. Default off: large sweeps (and anything held by the sweep
+	// cache) would otherwise pin every client transfer in memory. The
+	// compact per-row TransferTimes — all AllTransferTimes needs — is
+	// recorded regardless.
+	KeepClientResults bool
 }
 
 // DefaultSweep mirrors Table 2: duration 10 s, concurrency 1–8, parallel
@@ -49,7 +55,13 @@ type SweepRow struct {
 	P90           time.Duration
 	P99           time.Duration
 	SSS           float64
-	Result        *Result
+	// TransferTimes holds every client's transfer duration (seconds) in
+	// client order — the population behind Fig. 3's CDF — at 8 bytes per
+	// client regardless of KeepClientResults.
+	TransferTimes []float64
+	// Result is the full experiment output; nil unless
+	// SweepConfig.KeepClientResults is set.
+	Result *Result
 }
 
 // SweepResult is the completed Table 2 sweep.
@@ -58,16 +70,18 @@ type SweepResult struct {
 	Rows   []SweepRow
 }
 
-// RunSweep executes every cell of the sweep serially. RunSweepParallel
-// produces bit-identical results on a worker pool.
+// RunSweep executes every cell of the sweep serially on one reused
+// simulation engine. RunSweepParallel produces bit-identical results on
+// a worker pool.
 func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 	if len(cfg.Concurrencies) == 0 || len(cfg.ParallelFlows) == 0 {
 		return nil, fmt.Errorf("workload: empty sweep axes")
 	}
-	out := &SweepResult{Config: cfg}
+	eng := tcpsim.NewEngine()
+	out := &SweepResult{Config: cfg, Rows: make([]SweepRow, 0, cfg.Size())}
 	for _, p := range cfg.ParallelFlows {
 		for _, conc := range cfg.Concurrencies {
-			row, err := runCell(cfg, conc, p)
+			row, err := runCell(cfg, conc, p, eng)
 			if err != nil {
 				return nil, fmt.Errorf("workload: sweep cell conc=%d P=%d: %w", conc, p, err)
 			}
@@ -101,12 +115,14 @@ func (s *SweepResult) SeriesByFlows() []stats.Series {
 }
 
 // AllTransferTimes pools every client transfer time across the sweep —
-// the population behind the paper's Fig. 3 CDF.
+// the population behind the paper's Fig. 3 CDF. It reads the compact
+// per-row TransferTimes, so it works whether or not the sweep kept full
+// client results.
 func (s *SweepResult) AllTransferTimes() *stats.Sample {
 	sample := stats.NewSample()
 	for _, row := range s.Rows {
-		for _, c := range row.Result.Clients {
-			sample.Add(c.TransferTime())
+		for _, d := range row.TransferTimes {
+			sample.Add(d)
 		}
 	}
 	return sample

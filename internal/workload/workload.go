@@ -146,14 +146,22 @@ var ErrNoClients = errors.New("workload: experiment produced no clients")
 
 // Run executes the experiment on the simulated bottleneck.
 func Run(e Experiment) (*Result, error) {
+	return RunWithEngine(e, tcpsim.NewEngine())
+}
+
+// RunWithEngine executes the experiment on a caller-owned simulation
+// engine, so sweep drivers amortize the engine's buffers across many
+// cells (zero steady-state allocations in the congestion loop). Results
+// are identical to Run; the engine must not be used concurrently.
+func RunWithEngine(e Experiment, eng *tcpsim.Engine) (*Result, error) {
 	if err := e.Validate(); err != nil {
 		return nil, err
 	}
 	switch e.Strategy {
 	case SpawnSimultaneous:
-		return runSimultaneous(e)
+		return runSimultaneous(e, eng)
 	case SpawnScheduled:
-		return runScheduled(e)
+		return runScheduled(e, eng)
 	default:
 		return nil, fmt.Errorf("workload: unknown strategy %d", int(e.Strategy))
 	}
@@ -164,19 +172,18 @@ func flowID(client, flow int) int { return client*1000 + flow }
 
 func clientOf(id int) int { return id / 1000 }
 
-func runSimultaneous(e Experiment) (*Result, error) {
+func runSimultaneous(e Experiment, eng *tcpsim.Engine) (*Result, error) {
 	seconds := int(e.Duration.Seconds())
 	if seconds < 1 {
 		seconds = 1
 	}
 	perFlow := units.ByteSize(e.TransferSize.Bytes() / float64(e.ParallelFlows))
-	var specs []tcpsim.FlowSpec
-	spawnOf := make(map[int]float64)
+	nClients := seconds * e.Concurrency
+	specs := make([]tcpsim.FlowSpec, 0, nClients*e.ParallelFlows)
 	client := 0
 	for sec := 0; sec < seconds; sec++ {
 		for k := 0; k < e.Concurrency; k++ {
 			spawn := float64(sec)
-			spawnOf[client] = spawn
 			for f := 0; f < e.ParallelFlows; f++ {
 				specs = append(specs, tcpsim.FlowSpec{
 					ID:      flowID(client, f),
@@ -187,27 +194,24 @@ func runSimultaneous(e Experiment) (*Result, error) {
 			client++
 		}
 	}
-	simRes, err := tcpsim.Run(e.Net, specs)
+	simRes, err := eng.Run(e.Net, specs)
 	if err != nil {
 		return nil, fmt.Errorf("workload: simulating %d flows: %w", len(specs), err)
 	}
 
 	// Aggregate flows into clients: a client finishes when its last
-	// flow does.
+	// flow does. Client IDs are dense (0..nClients-1), so a slice
+	// replaces the seed's per-cell maps.
 	type agg struct {
 		end         float64
 		bytes       float64
 		retransmits int64
 		flows       int
 	}
-	byClient := make(map[int]*agg)
+	byClient := make([]agg, nClients)
 	for _, f := range simRes.Flows {
 		c := clientOf(f.ID)
-		a := byClient[c]
-		if a == nil {
-			a = &agg{}
-			byClient[c] = a
-		}
+		a := &byClient[c]
 		if f.End > a.end {
 			a.end = f.End
 		}
@@ -216,15 +220,18 @@ func runSimultaneous(e Experiment) (*Result, error) {
 		a.flows++
 	}
 	res := &Result{Experiment: e, DroppedBytes: simRes.DroppedBytes}
+	res.Clients = make([]ClientResult, 0, nClients)
 	for c := 0; c < client; c++ {
-		a := byClient[c]
-		if a == nil {
+		a := &byClient[c]
+		if a.flows == 0 {
 			continue
 		}
+		// Clients spawn Concurrency per second in ID order.
+		spawn := float64(c / e.Concurrency)
 		res.Clients = append(res.Clients, ClientResult{
 			ClientID:    c,
-			Spawn:       spawnOf[c],
-			Start:       spawnOf[c],
+			Spawn:       spawn,
+			Start:       spawn,
 			End:         a.end,
 			Bytes:       a.bytes,
 			Flows:       a.flows,
@@ -239,7 +246,7 @@ func runSimultaneous(e Experiment) (*Result, error) {
 	return finalize(res)
 }
 
-func runScheduled(e Experiment) (*Result, error) {
+func runScheduled(e Experiment, eng *tcpsim.Engine) (*Result, error) {
 	seconds := int(e.Duration.Seconds())
 	if seconds < 1 {
 		seconds = 1
@@ -247,7 +254,7 @@ func runScheduled(e Experiment) (*Result, error) {
 	// Bandwidth reservation: one client occupies the link at a time, so
 	// every client's transfer behaves like the solo run. The solo FCT is
 	// identical across clients — compute it once.
-	soloFCT, err := tcpsim.SoloClientFCT(e.Net, e.TransferSize, e.ParallelFlows)
+	soloFCT, err := eng.SoloClientFCT(e.Net, e.TransferSize, e.ParallelFlows)
 	if err != nil {
 		return nil, fmt.Errorf("workload: solo client simulation: %w", err)
 	}

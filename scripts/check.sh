@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# check.sh — the repo's CI gate. Runs formatting, vet, build, the full
+# test suite, and a short benchmark smoke that refreshes BENCH_sweep.json
+# (quick scenarios only; run `go run ./cmd/benchjson` without -quick for
+# the paper-scale numbers recorded in PERFORMANCE.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== bench smoke (-short gated) =="
+# -short skips the smoke in constrained environments:
+#   SHORT=1 scripts/check.sh
+if [ "${SHORT:-}" = "1" ]; then
+    echo "SHORT=1: skipping benchmark smoke"
+else
+    go test -short -run '^$' -bench 'BenchmarkTCPSimEngineSteady|BenchmarkRunAllQuick' -benchtime 10x .
+    # Throwaway path: the tracked BENCH_sweep.json is the full paper-scale
+    # record (go run ./cmd/benchjson) and must not be clobbered by smoke
+    # numbers.
+    smoke=$(mktemp /tmp/BENCH_smoke.XXXXXX.json)
+    go run ./cmd/benchjson -quick -o "$smoke"
+    rm -f "$smoke"
+fi
+
+echo "OK"
