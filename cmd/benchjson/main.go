@@ -2,12 +2,18 @@
 // machine-readable BENCH_sweep.json, so the perf trajectory is tracked
 // PR-over-PR (see PERFORMANCE.md for the contract and history).
 //
-//	benchjson [-o BENCH_sweep.json] [-quick]
+//	benchjson [-o BENCH_sweep.json] [-quick] [-compare BENCH_sweep.json] [-tol 1e-9]
 //
 // Every scenario is measured with testing.Benchmark, so ns/op, B/op and
 // allocs/op mean exactly what `go test -bench` reports. Paper-relevant
 // outputs (worst-case transfer seconds, SSS) ride along as metrics, like
 // the root bench harness attaches via b.ReportMetric.
+//
+// With -compare, the run exits non-zero if any deterministic scenario
+// metric (sss, worst_s — simulation outputs, machine-independent) drifts
+// from the tracked report by more than the relative tolerance -tol. CI
+// uses this (scripts/benchcmp.sh) to catch silent changes to the sweep
+// dynamics; timings are never compared, so the gate is noise-free.
 package main
 
 import (
@@ -15,8 +21,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -98,6 +106,8 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	outPath := fs.String("o", "BENCH_sweep.json", "output path")
 	quick := fs.Bool("quick", false, "skip paper-scale scenarios (CI smoke run)")
+	comparePath := fs.String("compare", "", "fail on deterministic-metric drift from this tracked report")
+	tol := fs.Float64("tol", 1e-9, "relative tolerance for -compare")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -215,5 +225,70 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "  %-22s %12.0f ns/op %8d B/op %6d allocs/op\n",
 			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
 	}
+
+	if *comparePath != "" {
+		baseData, err := os.ReadFile(*comparePath)
+		if err != nil {
+			return fmt.Errorf("reading baseline: %w", err)
+		}
+		var baseline Report
+		if err := json.Unmarshal(baseData, &baseline); err != nil {
+			return fmt.Errorf("parsing baseline %s: %w", *comparePath, err)
+		}
+		n, err := compareReports(report, baseline, *tol)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "compare vs %s: OK (%d deterministic metrics within %g)\n", *comparePath, n, *tol)
+	}
 	return nil
+}
+
+// deterministicMetrics are the simulation outputs compared by -compare:
+// bit-reproducible across machines and worker counts, unlike timings.
+var deterministicMetrics = []string{"sss", "worst_s"}
+
+// compareReports checks every deterministic metric present in both
+// reports (scenarios matched by name) against the relative tolerance.
+// It returns the number of metrics compared; zero overlap is an error —
+// a gate that compares nothing must not pass.
+func compareReports(current, baseline Report, tol float64) (int, error) {
+	if baseline.Schema != current.Schema {
+		return 0, fmt.Errorf("baseline schema %q != %q", baseline.Schema, current.Schema)
+	}
+	baseByName := make(map[string]Entry, len(baseline.Results))
+	for _, e := range baseline.Results {
+		baseByName[e.Name] = e
+	}
+	compared := 0
+	var drift []string
+	for _, cur := range current.Results {
+		base, ok := baseByName[cur.Name]
+		if !ok {
+			continue
+		}
+		for _, key := range deterministicMetrics {
+			bv, bok := base.Metrics[key]
+			cv, cok := cur.Metrics[key]
+			if !bok || !cok {
+				continue
+			}
+			compared++
+			denom := math.Abs(bv)
+			if denom == 0 {
+				denom = 1
+			}
+			if math.Abs(cv-bv)/denom > tol {
+				drift = append(drift, fmt.Sprintf("%s %s: baseline %v, got %v", cur.Name, key, bv, cv))
+			}
+		}
+	}
+	if compared == 0 {
+		return 0, fmt.Errorf("no deterministic metrics overlap with the baseline")
+	}
+	if len(drift) > 0 {
+		return compared, fmt.Errorf("bench regression: %d metric(s) drifted beyond %g:\n  %s",
+			len(drift), tol, strings.Join(drift, "\n  "))
+	}
+	return compared, nil
 }

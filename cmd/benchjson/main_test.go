@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -59,5 +60,77 @@ func TestBenchJSONQuick(t *testing.T) {
 		if !seen {
 			t.Errorf("scenario %s missing from report", name)
 		}
+	}
+}
+
+// report builds a minimal Report for compare tests.
+func report(entries ...Entry) Report {
+	return Report{Schema: "bench_sweep/v1", Results: entries}
+}
+
+func TestCompareReports(t *testing.T) {
+	baseline := report(
+		Entry{Name: "sweep_quick_serial", Metrics: map[string]float64{"sss": 27.11483609375, "worst_s": 4.338373775}},
+		Entry{Name: "sweep_paper_parallel", Metrics: map[string]float64{"sss": 30, "worst_s": 5}},
+		Entry{Name: "tcpsim_engine_steady"},
+	)
+
+	// Identical metrics pass; paper-only scenarios are skipped on quick runs.
+	current := report(
+		Entry{Name: "sweep_quick_serial", Metrics: map[string]float64{"sss": 27.11483609375, "worst_s": 4.338373775}},
+		Entry{Name: "tcpsim_engine_steady"},
+	)
+	n, err := compareReports(current, baseline, 1e-9)
+	if err != nil {
+		t.Fatalf("identical metrics rejected: %v", err)
+	}
+	if n != 2 {
+		t.Errorf("compared %d metrics, want 2", n)
+	}
+
+	// Drift beyond tolerance fails and names the metric.
+	drifted := report(
+		Entry{Name: "sweep_quick_serial", Metrics: map[string]float64{"sss": 28.5, "worst_s": 4.338373775}},
+	)
+	if _, err := compareReports(drifted, baseline, 1e-9); err == nil {
+		t.Error("drifted sss accepted")
+	} else if !strings.Contains(err.Error(), "sweep_quick_serial sss") {
+		t.Errorf("drift error does not name the metric: %v", err)
+	}
+
+	// The same drift passes under a loose tolerance.
+	if _, err := compareReports(drifted, baseline, 0.1); err != nil {
+		t.Errorf("drift within tolerance rejected: %v", err)
+	}
+
+	// A gate that compares nothing must not pass.
+	empty := report(Entry{Name: "tcpsim_engine_steady"})
+	if _, err := compareReports(empty, baseline, 1e-9); err == nil {
+		t.Error("zero-overlap comparison accepted")
+	}
+
+	// Schema mismatch is refused outright.
+	wrong := report(Entry{Name: "sweep_quick_serial", Metrics: map[string]float64{"sss": 27.11483609375}})
+	wrong.Schema = "bench_sweep/v2"
+	if _, err := compareReports(wrong, baseline, 1e-9); err == nil {
+		t.Error("schema mismatch accepted")
+	}
+}
+
+// TestCompareAgainstTrackedBaseline pins the compare path end-to-end: a
+// quick run's deterministic metrics must match the repo's tracked
+// BENCH_sweep.json exactly (the simulation is seeded and bit-stable).
+func TestCompareAgainstTrackedBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchjson smoke run is itself a benchmark")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_new.json")
+	var buf bytes.Buffer
+	err := run([]string{"-quick", "-o", out, "-compare", filepath.Join("..", "..", "BENCH_sweep.json")}, &buf)
+	if err != nil {
+		t.Fatalf("compare against tracked baseline failed: %v", err)
+	}
+	if !strings.Contains(buf.String(), "compare vs") {
+		t.Errorf("missing compare summary:\n%s", buf.String())
 	}
 }

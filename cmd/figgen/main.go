@@ -4,10 +4,14 @@
 // Usage:
 //
 //	figgen [-sweep quick|paper] [-only id] [-out dir] [-list]
+//	       [-cache-dir DIR|off]
 //
 // With -out, each artifact is written as <id>.txt and <id>.csv under the
 // directory; otherwise everything prints to stdout. -only restricts
-// generation to one artifact ID (see -list for IDs).
+// generation to one artifact ID (see -list for IDs). Sweep results are
+// persisted under -cache-dir (default $CACHE_DIR, else
+// ~/.cache/repro/sweeps), so regenerating figures recomputes nothing
+// once the sweep has run anywhere on the machine.
 package main
 
 import (
@@ -35,6 +39,8 @@ func run(args []string, out io.Writer) error {
 	only := fs.String("only", "", "generate only this artifact ID")
 	outDir := fs.String("out", "", "write artifacts to this directory instead of stdout")
 	list := fs.Bool("list", false, "list artifact IDs and exit")
+	cacheDir := fs.String("cache-dir", "",
+		"sweep disk cache directory (default $CACHE_DIR, else ~/.cache/repro/sweeps; \"off\" disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,6 +60,12 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown sweep %q (want quick or paper)", *sweepName)
 	}
+
+	dir, err := workload.ResolveCacheDir(*cacheDir)
+	if err != nil {
+		return err
+	}
+	workload.SetDiskCacheDir(dir)
 
 	suite, err := experiments.RunAll(sweep)
 	if err != nil {

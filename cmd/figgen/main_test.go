@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/workload"
 )
 
 func TestList(t *testing.T) {
@@ -59,5 +61,50 @@ func TestBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
 		t.Error("bad flag accepted")
+	}
+}
+
+// TestMain points CACHE_DIR at a throwaway directory so tests never read
+// or write the developer's real sweep cache.
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "figgen-cache")
+	if err != nil {
+		panic(err)
+	}
+	os.Setenv("CACHE_DIR", dir)
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// TestWarmDiskCache: regenerating an artifact in a fresh "process"
+// (purged in-memory caches) is served entirely from the disk cache.
+func TestWarmDiskCache(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-sweep", "quick", "-only", "fig2a", "-cache-dir", dir}
+
+	workload.PurgeSweepCache()
+	workload.PurgeGridCache()
+	var cold strings.Builder
+	if err := run(args, &cold); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no cache files written (err %v)", err)
+	}
+
+	workload.PurgeSweepCache()
+	workload.PurgeGridCache()
+	before := workload.EngineRunCount()
+	var warm strings.Builder
+	if err := run(args, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if runs := workload.EngineRunCount() - before; runs != 0 {
+		t.Errorf("warm figgen ran %d experiments, want 0", runs)
+	}
+	if warm.String() != cold.String() {
+		t.Error("warm artifact differs from cold artifact")
 	}
 }

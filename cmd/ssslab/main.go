@@ -1,11 +1,28 @@
 // Command ssslab runs the paper's congestion measurement methodology and
-// reports Streaming Speed Scores: either on the simulated bottleneck
-// (default, reproducing Fig. 2) or live over loopback TCP sockets.
+// reports Streaming Speed Scores: on the simulated bottleneck for one
+// operating point (default, reproducing Fig. 2), across a multi-axis
+// scenario grid (-grid), or live over loopback TCP sockets.
 //
 // Usage:
 //
 //	ssslab [-mode sim|live] [-seconds 10] [-concurrency 4] [-flows 8]
 //	       [-size 0.5GB] [-strategy simultaneous|scheduled] [-csv file]
+//	       [-cache-dir DIR|off]
+//
+// Grid mode sweeps the full operating envelope — any combination of the
+// seven axes — and reports per-cell SSS plus where the stream-vs-store
+// break-even flips:
+//
+//	ssslab -grid [-concs 1,4,8] [-pflows 2,8] [-sizes 0.5GB,2GB]
+//	       [-rtts 8ms,16ms,64ms] [-buffers auto,2MB] [-ccs reno,cubic]
+//	       [-crosses 0,0.3] [-complexity 17e12] [-local 5TF]
+//	       [-remote 100TF] [-theta 1.0]
+//
+// Axis flags default to the corresponding single-experiment flag, so
+// `-grid -rtts 8ms,16ms,64ms` sweeps RTT alone. Simulated results are
+// memoized in memory and persisted under -cache-dir (default $CACHE_DIR,
+// else ~/.cache/repro/sweeps), so a repeated invocation recomputes
+// nothing; pass `-cache-dir off` to disable persistence.
 //
 // Live mode uses small transfers by default (loopback is not a 25 Gbps
 // WAN); pass -size explicitly to push harder.
@@ -19,6 +36,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/plot"
+	"repro/internal/scenario"
 	"repro/internal/tcpsim"
 	"repro/internal/transport"
 	"repro/internal/units"
@@ -40,7 +59,16 @@ func run(args []string, out io.Writer) error {
 	flows := fs.Int("flows", 8, "parallel TCP flows per client")
 	sizeStr := fs.String("size", "", "transfer size per client (default 0.5GB sim, 8MB live)")
 	strategy := fs.String("strategy", "simultaneous", "simultaneous or scheduled")
-	csvPath := fs.String("csv", "", "write the per-client transfer log as CSV")
+	csvPath := fs.String("csv", "", "write the per-client transfer log (or grid rows) as CSV")
+	cacheDir := fs.String("cache-dir", "",
+		"sweep disk cache directory (default $CACHE_DIR, else ~/.cache/repro/sweeps; \"off\" disables)")
+	grid := fs.Bool("grid", false, "sweep a multi-axis scenario grid (sim mode only)")
+	axisFlags := scenario.AxisFlags{}
+	axisFlags.Register(fs)
+	complexity := fs.Float64("complexity", 17e12, "break-even model: complexity C in FLOP per GB")
+	localStr := fs.String("local", "5TF", "break-even model: local processing rate")
+	remoteStr := fs.String("remote", "100TF", "break-even model: remote processing rate")
+	theta := fs.Float64("theta", 1.0, "break-even model: file I/O overhead coefficient")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,34 +89,32 @@ func run(args []string, out io.Writer) error {
 		} else if *strategy != "simultaneous" {
 			return fmt.Errorf("unknown strategy %q", *strategy)
 		}
-		e := workload.Experiment{
-			Duration:      time.Duration(*seconds) * time.Second,
-			Concurrency:   *concurrency,
-			ParallelFlows: *flows,
-			TransferSize:  size,
-			Strategy:      strat,
-			Net:           tcpsim.DefaultConfig(),
-		}
-		res, err := workload.Run(e)
+		dir, err := workload.ResolveCacheDir(*cacheDir)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "mode:          simulated %v bottleneck, RTT %v\n", e.Net.Capacity, e.Net.BaseRTT)
-		fmt.Fprintf(out, "experiment:    %d s x %d clients/s x %v over %d flows (%s)\n",
-			*seconds, *concurrency, size, *flows, strat)
-		fmt.Fprintf(out, "offered load:  %.0f%%\n", e.OfferedLoad()*100)
-		fmt.Fprintf(out, "measured util: %.0f%%\n", res.MeanUtilization*100)
-		fmt.Fprintf(out, "worst FCT:     %v\n", res.WorstFCT.Round(time.Millisecond))
-		fmt.Fprintf(out, "theoretical:   %v\n", res.Theoretical.Round(time.Millisecond))
-		fmt.Fprintf(out, "SSS:           %.2f\n", res.SSS)
-		rc := core.DefaultRegimeClassifier()
-		fmt.Fprintf(out, "regime:        %s\n", rc.Classify(res.WorstFCT))
-		if *csvPath != "" {
-			return writeCSV(*csvPath, res)
+		workload.SetDiskCacheDir(dir)
+		base := workload.Axes{
+			Duration:      time.Duration(*seconds) * time.Second,
+			Concurrencies: []int{*concurrency},
+			ParallelFlows: []int{*flows},
+			TransferSizes: []units.ByteSize{size},
+			Strategy:      strat,
+			Net:           tcpsim.DefaultConfig(),
 		}
-		return nil
+		if *grid {
+			axes, err := axisFlags.Apply(base)
+			if err != nil {
+				return err
+			}
+			return runGridSim(out, axes, *complexity, *localStr, *remoteStr, *theta, *csvPath)
+		}
+		return runSingleSim(out, base, *csvPath)
 
 	case "live":
+		if *grid {
+			return fmt.Errorf("-grid is sim-mode only (live loopback has no scenario axes)")
+		}
 		size := 8 * units.MB
 		if *sizeStr != "" {
 			var err error
@@ -147,11 +173,118 @@ func run(args []string, out io.Writer) error {
 	}
 }
 
-func writeCSV(path string, res *workload.Result) error {
-	f, err := os.Create(path)
+// runSingleSim executes one operating point as a one-cell cached grid,
+// so repeated invocations with the same parameters are disk-cache hits.
+func runSingleSim(out io.Writer, axes workload.Axes, csvPath string) error {
+	if csvPath != "" {
+		// The per-client CSV needs full client results; those are
+		// memory-only (never persisted), so ask for them explicitly.
+		axes.KeepClientResults = true
+	}
+	g, err := workload.RunGridCached(axes, 0)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return res.TraceLog().WriteCSV(f)
+	row := g.Rows[0]
+	e := workload.Experiment{
+		Duration:      axes.Duration,
+		Concurrency:   row.Cell.Concurrency,
+		ParallelFlows: row.Cell.ParallelFlows,
+		TransferSize:  row.Cell.TransferSize,
+		Strategy:      axes.Strategy,
+		Net:           axes.Net,
+	}
+	fmt.Fprintf(out, "mode:          simulated %v bottleneck, RTT %v\n", e.Net.Capacity, e.Net.BaseRTT)
+	fmt.Fprintf(out, "experiment:    %d s x %d clients/s x %v over %d flows (%s)\n",
+		int(axes.Duration.Seconds()), e.Concurrency, e.TransferSize, e.ParallelFlows, axes.Strategy)
+	fmt.Fprintf(out, "offered load:  %.0f%%\n", e.OfferedLoad()*100)
+	fmt.Fprintf(out, "measured util: %.0f%%\n", row.Utilization*100)
+	fmt.Fprintf(out, "worst FCT:     %v\n", row.Worst.Round(time.Millisecond))
+	theo := core.TheoreticalTransfer(e.TransferSize, e.Net.Capacity)
+	fmt.Fprintf(out, "theoretical:   %v\n", theo.Round(time.Millisecond))
+	fmt.Fprintf(out, "SSS:           %.2f\n", row.SSS)
+	rc := core.DefaultRegimeClassifier()
+	fmt.Fprintf(out, "regime:        %s\n", rc.Classify(row.Worst))
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return row.Result.TraceLog().WriteCSV(f)
+	}
+	return nil
+}
+
+// runGridSim sweeps the scenario grid and reports per-cell congestion
+// measurements plus where the stream-vs-store break-even flips.
+func runGridSim(out io.Writer, axes workload.Axes, complexity float64, localStr, remoteStr string, theta float64, csvPath string) error {
+	local, err := units.ParseFLOPS(localStr)
+	if err != nil {
+		return err
+	}
+	remote, err := units.ParseFLOPS(remoteStr)
+	if err != nil {
+		return err
+	}
+	g, err := workload.RunGridCached(axes, 0)
+	if err != nil {
+		return err
+	}
+	a := g.Axes
+	fmt.Fprintf(out, "grid: %s (%s, %v bottleneck)\n", scenario.GridHeader(a), a.Strategy, a.Net.Capacity)
+
+	rc := core.DefaultRegimeClassifier()
+	t := &plot.Table{Header: []string{
+		"Size", "RTT", "Buffer", "CC", "Cross", "Conc", "P",
+		"Offered", "Util", "Worst", "SSS", "Regime",
+	}}
+	for _, row := range g.Rows {
+		c := row.Cell
+		t.AddRow(
+			c.TransferSize.String(),
+			c.RTT.String(),
+			scenario.BufferLabel(c.Buffer),
+			c.CC.String(),
+			fmt.Sprintf("%g", c.CrossFraction),
+			fmt.Sprintf("%d", c.Concurrency),
+			fmt.Sprintf("%d", c.ParallelFlows),
+			fmt.Sprintf("%.0f%%", row.OfferedLoad*100),
+			fmt.Sprintf("%.0f%%", row.Utilization*100),
+			row.Worst.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.2f", row.SSS),
+			rc.Classify(row.Worst).String(),
+		)
+	}
+	fmt.Fprint(out, t.String())
+
+	base := core.Params{
+		ComplexityFLOPPerByte: core.ComplexityFLOPPerGB(complexity),
+		LocalRate:             local,
+		RemoteRate:            remote,
+		Theta:                 theta,
+	}
+	ds, err := scenario.DecideGrid(g, base, core.DecideOpts{})
+	if err != nil {
+		return err
+	}
+	counts := map[core.Choice]int{}
+	for _, d := range ds {
+		counts[d.Decision.Choice]++
+	}
+	fmt.Fprintf(out, "\nstream-vs-store (C=%.3g FLOP/GB, local %v, remote %v, theta %.2f):\n",
+		complexity, local, remote, theta)
+	fmt.Fprintf(out, "  remote %d cells, local %d cells, infeasible %d cells\n",
+		counts[core.ChooseRemote], counts[core.ChooseLocal], counts[core.ChooseInfeasible])
+	fmt.Fprint(out, scenario.FlipReport(ds, "  "))
+
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return t.WriteCSV(f)
+	}
+	return nil
 }

@@ -5,11 +5,27 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/workload"
 )
+
+// TestMain points CACHE_DIR at a throwaway directory so a test that
+// omits -cache-dir can never read or write the developer's real sweep
+// cache.
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "ssslab-cache")
+	if err != nil {
+		panic(err)
+	}
+	os.Setenv("CACHE_DIR", dir)
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
 
 func TestSimMode(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{"-seconds", "2", "-concurrency", "6", "-flows", "8"}, &out)
+	err := run([]string{"-seconds", "2", "-concurrency", "6", "-flows", "8", "-cache-dir", "off"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +39,7 @@ func TestSimMode(t *testing.T) {
 
 func TestSimScheduled(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{"-seconds", "2", "-strategy", "scheduled"}, &out)
+	err := run([]string{"-seconds", "2", "-strategy", "scheduled", "-cache-dir", "off"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +52,7 @@ func TestSimCSV(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "log.csv")
 	var out strings.Builder
-	if err := run([]string{"-seconds", "1", "-csv", path}, &out); err != nil {
+	if err := run([]string{"-seconds", "1", "-csv", path, "-cache-dir", "off"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -45,6 +61,120 @@ func TestSimCSV(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "client_id") {
 		t.Errorf("csv content: %s", data)
+	}
+}
+
+// TestSimRepeatedInvocationWarm: the same single-experiment invocation
+// served from the disk cache runs zero simulations and prints the same
+// report.
+func TestSimRepeatedInvocationWarm(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-seconds", "2", "-concurrency", "6", "-cache-dir", dir}
+
+	// Other tests may have memoized these axes with persistence off; a
+	// real CLI invocation always starts cold.
+	workload.PurgeSweepCache()
+	workload.PurgeGridCache()
+
+	var cold strings.Builder
+	if err := run(args, &cold); err != nil {
+		t.Fatal(err)
+	}
+	// Empty the in-memory caches so the second run can only be served
+	// from disk — as a fresh process invocation would be.
+	workload.PurgeSweepCache()
+	workload.PurgeGridCache()
+
+	before := workload.EngineRunCount()
+	var warm strings.Builder
+	if err := run(args, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if runs := workload.EngineRunCount() - before; runs != 0 {
+		t.Errorf("warm invocation ran %d experiments, want 0", runs)
+	}
+	if warm.String() != cold.String() {
+		t.Errorf("warm output differs:\ncold:\n%s\nwarm:\n%s", cold.String(), warm.String())
+	}
+}
+
+// gridArgs sweeps three axes (RTT × buffer × parallel flows) — the
+// acceptance shape for -grid.
+func gridArgs(cacheDir string) []string {
+	return []string{"-grid", "-seconds", "1", "-concurrency", "6",
+		"-rtts", "8ms,32ms", "-buffers", "auto,1MB", "-pflows", "2,8",
+		"-cache-dir", cacheDir}
+}
+
+func TestGridMode(t *testing.T) {
+	var out strings.Builder
+	if err := run(gridArgs("off"), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"grid: 8 cells",
+		"2 RTTs x 2 buffers",
+		"SSS", "Regime",
+		"stream-vs-store",
+		"break-even",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q:\n%s", want, s)
+		}
+	}
+	// 8 cells → 8 table rows.
+	if rows := strings.Count(s, "500.00 MB |"); rows != 8 {
+		t.Errorf("table has %d rows, want 8:\n%s", rows, s)
+	}
+}
+
+// TestGridWarmDiskCache is the PR's acceptance criterion: a second
+// invocation of the same -grid command is served entirely from the disk
+// cache — zero engine runs — and reports identical results.
+func TestGridWarmDiskCache(t *testing.T) {
+	dir := t.TempDir()
+
+	// Start cold, as a real CLI invocation would.
+	workload.PurgeSweepCache()
+	workload.PurgeGridCache()
+
+	var cold strings.Builder
+	if err := run(gridArgs(dir), &cold); err != nil {
+		t.Fatal(err)
+	}
+	workload.PurgeSweepCache()
+	workload.PurgeGridCache()
+
+	before := workload.EngineRunCount()
+	var warm strings.Builder
+	if err := run(gridArgs(dir), &warm); err != nil {
+		t.Fatal(err)
+	}
+	if runs := workload.EngineRunCount() - before; runs != 0 {
+		t.Errorf("warm grid invocation ran %d experiments, want 0", runs)
+	}
+	if warm.String() != cold.String() {
+		t.Errorf("warm output differs:\ncold:\n%s\nwarm:\n%s", cold.String(), warm.String())
+	}
+}
+
+func TestGridCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "grid.csv")
+	var out strings.Builder
+	args := append(gridArgs("off"), "-csv", path)
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"rtt", "sss"} {
+		if !strings.Contains(strings.ToLower(string(data)), want) {
+			t.Errorf("grid csv missing %q:\n%s", want, data)
+		}
 	}
 }
 
@@ -67,7 +197,12 @@ func TestBadArgs(t *testing.T) {
 		{"-mode", "live", "-strategy", "chaotic"},
 		{"-size", "banana"},
 		{"-mode", "live", "-size", "banana"},
-		{"-seconds", "0"},
+		{"-seconds", "0", "-cache-dir", "off"},
+		{"-mode", "live", "-grid", "-rtts", "8ms,64ms"},
+		{"-grid", "-rtts", "soon", "-cache-dir", "off"},
+		{"-grid", "-ccs", "bbr", "-cache-dir", "off"},
+		{"-grid", "-buffers", "big", "-cache-dir", "off"},
+		{"-grid", "-local", "banana", "-cache-dir", "off"},
 	}
 	for _, args := range cases {
 		var out strings.Builder

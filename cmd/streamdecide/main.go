@@ -8,6 +8,20 @@
 //	             -bw 25Gbps -rate 2GB/s [-theta 1.0] [-gen 2GB/s] [-tier 2]
 //
 // Complexity is FLOP per GB of input, as in the paper's parameter table.
+//
+// Grid mode replaces the flag-supplied transfer rate with rates measured
+// by congestion simulation across a multi-axis scenario grid, then
+// reports the per-cell decision and where the stream-vs-store break-even
+// flips:
+//
+//	streamdecide -grid [-gseconds 3] [-concs 4] [-pflows 8]
+//	             [-sizes 0.5GB,2GB] [-rtts 8ms,16ms,64ms]
+//	             [-buffers auto,2MB] [-ccs reno,cubic] [-crosses 0,0.3]
+//	             [-cache-dir DIR|off]
+//
+// Grid sweeps are cached on disk under -cache-dir (default $CACHE_DIR,
+// else ~/.cache/repro/sweeps), so a repeated invocation recomputes
+// nothing.
 package main
 
 import (
@@ -21,7 +35,9 @@ import (
 	"repro/internal/plot"
 	"repro/internal/scenario"
 	"repro/internal/stats"
+	"repro/internal/tcpsim"
 	"repro/internal/units"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -44,8 +60,20 @@ func run(args []string, out io.Writer) error {
 	tier := fs.Int("tier", 0, "latency tier deadline: 1 (<1s), 2 (<10s), 3 (<1min); 0 = none")
 	sweep := fs.String("sensitivity", "", "plot T_pct sensitivity: theta, alpha, or r")
 	configPath := fs.String("config", "", "decide a JSON portfolio of workloads instead of flags")
+	grid := fs.Bool("grid", false, "decide across a measured multi-axis scenario grid")
+	gseconds := fs.Int("gseconds", 3, "grid: congestion experiment duration in seconds")
+	axisFlags := scenario.AxisFlags{}
+	axisFlags.Register(fs)
+	cacheDir := fs.String("cache-dir", "",
+		"sweep disk cache directory (default $CACHE_DIR, else ~/.cache/repro/sweeps; \"off\" disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *grid && *configPath != "" {
+		return fmt.Errorf("-grid and -config are mutually exclusive (a portfolio row has its own transfer rate)")
+	}
+	if *grid && *sweep != "" {
+		return fmt.Errorf("-sensitivity is incompatible with -grid (the grid itself is the sensitivity sweep)")
 	}
 
 	if *configPath != "" {
@@ -112,6 +140,45 @@ func run(args []string, out io.Writer) error {
 		}
 		opts.Deadline = t.Budget()
 		fmt.Fprintf(out, "deadline: %s\n", t)
+	}
+
+	if *grid {
+		dir, err := workload.ResolveCacheDir(*cacheDir)
+		if err != nil {
+			return err
+		}
+		workload.SetDiskCacheDir(dir)
+		net := tcpsim.DefaultConfig()
+		net.Capacity = bw
+		base := workload.Axes{
+			Duration:      time.Duration(*gseconds) * time.Second,
+			Concurrencies: []int{4},
+			ParallelFlows: []int{8},
+			TransferSizes: []units.ByteSize{size},
+			Strategy:      workload.SpawnSimultaneous,
+			Net:           net,
+		}
+		axes, err := axisFlags.Apply(base)
+		if err != nil {
+			return err
+		}
+		g, err := workload.RunGridCached(axes, 0)
+		if err != nil {
+			return err
+		}
+		a := g.Axes
+		fmt.Fprintf(out, "grid: %s (%v bottleneck)\n", scenario.GridHeader(a), a.Net.Capacity)
+		fmt.Fprintf(out, "model: C=%.3g FLOP/GB, local %v, remote %v, theta %.2f; R_transfer measured per cell\n\n",
+			*complexity, local, remote, *theta)
+		// DecideGrid overrides the transfer-side fields (unit size,
+		// bandwidth, transfer rate) per cell; p's compute side carries
+		// through unchanged.
+		ds, err := scenario.DecideGrid(g, p, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, scenario.RenderGrid(ds))
+		return nil
 	}
 
 	d, err := core.Decide(p, opts)

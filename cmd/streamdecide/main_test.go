@@ -5,7 +5,23 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/workload"
 )
+
+// TestMain points CACHE_DIR at a throwaway directory so a test that
+// omits -cache-dir can never read or write the developer's real sweep
+// cache.
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "streamdecide-cache")
+	if err != nil {
+		panic(err)
+	}
+	os.Setenv("CACHE_DIR", dir)
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
 
 func TestDefaultDecision(t *testing.T) {
 	var out strings.Builder
@@ -116,5 +132,83 @@ func TestNoTierLine(t *testing.T) {
 	// theta break-even is reported as the boundary.
 	if !strings.Contains(out.String(), "DECISION:   local") {
 		t.Errorf("theta=8 should favor local:\n%s", out.String())
+	}
+}
+
+func TestGridDecisions(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-grid", "-gseconds", "1", "-rtts", "8ms,64ms",
+		"-crosses", "0,0.3", "-sizes", "0.5GB,2GB", "-cache-dir", "off"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"grid: 8 cells",
+		"R_transfer measured per cell",
+		"Decision",
+		"break-even",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q:\n%s", want, s)
+		}
+	}
+	// Every cell must reach a decision.
+	if got := strings.Count(s, "remote") + strings.Count(s, "local") + strings.Count(s, "infeasible"); got < 8 {
+		t.Errorf("expected at least 8 decisions, got %d:\n%s", got, s)
+	}
+}
+
+func TestGridWarmDiskCache(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-grid", "-gseconds", "1", "-rtts", "8ms,32ms",
+		"-buffers", "auto,1MB", "-pflows", "2,8", "-cache-dir", dir}
+
+	// Start cold, as a real CLI invocation would.
+	workload.PurgeSweepCache()
+	workload.PurgeGridCache()
+
+	var cold strings.Builder
+	if err := run(args, &cold); err != nil {
+		t.Fatal(err)
+	}
+	workload.PurgeSweepCache()
+	workload.PurgeGridCache()
+
+	before := workload.EngineRunCount()
+	var warm strings.Builder
+	if err := run(args, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if runs := workload.EngineRunCount() - before; runs != 0 {
+		t.Errorf("warm grid invocation ran %d experiments, want 0", runs)
+	}
+	if warm.String() != cold.String() {
+		t.Errorf("warm output differs:\ncold:\n%s\nwarm:\n%s", cold.String(), warm.String())
+	}
+}
+
+func TestGridBadAxisFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-grid", "-rtts", "later", "-cache-dir", "off"},
+		{"-grid", "-ccs", "vegas", "-cache-dir", "off"},
+		{"-grid", "-concs", "many", "-cache-dir", "off"},
+	} {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestGridFlagConflicts(t *testing.T) {
+	for _, args := range [][]string{
+		{"-grid", "-config", "portfolio.json", "-cache-dir", "off"},
+		{"-grid", "-sensitivity", "theta", "-cache-dir", "off"},
+	} {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
 	}
 }

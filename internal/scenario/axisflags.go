@@ -1,0 +1,138 @@
+package scenario
+
+// AxisFlags parses the comma-separated axis lists that the -grid modes
+// of cmd/ssslab and cmd/streamdecide share, so both CLIs accept the same
+// grid vocabulary: -rtts 8ms,16ms,64ms -buffers auto,2MB -ccs reno,cubic
+// -crosses 0,0.3 -concs 1,4,8 -pflows 2,8.
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/tcpsim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// AxisFlags holds raw CLI axis lists. An empty field leaves the
+// corresponding axis of the base grid untouched; a set field replaces
+// it.
+type AxisFlags struct {
+	Concs   string // e.g. "1,4,8"
+	Flows   string // e.g. "2,8"
+	Sizes   string // e.g. "0.5GB,2GB"
+	RTTs    string // e.g. "8ms,16ms,64ms"
+	Buffers string // e.g. "auto,512KB,2MB" ("auto" = half-BDP default)
+	CCs     string // e.g. "reno,cubic"
+	Crosses string // e.g. "0,0.3,0.6"
+}
+
+// Register installs the grid axis flags on a FlagSet. Every -grid CLI
+// registers through here, so adding an axis (or renaming a flag) cannot
+// leave the CLIs accepting different grid vocabularies.
+func (f *AxisFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Concs, "concs", "", "grid axis: concurrency list, e.g. 1,4,8")
+	fs.StringVar(&f.Flows, "pflows", "", "grid axis: parallel-flow list, e.g. 2,8")
+	fs.StringVar(&f.Sizes, "sizes", "", "grid axis: transfer-size list, e.g. 0.5GB,2GB")
+	fs.StringVar(&f.RTTs, "rtts", "", "grid axis: base RTT list, e.g. 8ms,16ms,64ms")
+	fs.StringVar(&f.Buffers, "buffers", "", "grid axis: bottleneck buffer list, e.g. auto,2MB")
+	fs.StringVar(&f.CCs, "ccs", "", "grid axis: congestion-control list (reno, cubic)")
+	fs.StringVar(&f.Crosses, "crosses", "", "grid axis: cross-traffic fraction list, e.g. 0,0.3")
+}
+
+// GridHeader summarizes a normalized grid's dimensions for CLI output
+// (cache-returned GridResult.Axes values are always normalized).
+func GridHeader(a workload.Axes) string {
+	return fmt.Sprintf("%d cells = %d sizes x %d RTTs x %d buffers x %d CCs x %d cross x %d flows x %d conc",
+		a.Size(), len(a.TransferSizes), len(a.RTTs), len(a.Buffers), len(a.CCs),
+		len(a.CrossFractions), len(a.ParallelFlows), len(a.Concurrencies))
+}
+
+// parseList parses a comma-separated list with one value parser,
+// trimming blanks. An empty list parses to nil.
+func parseList[T any](flag, s string, parse func(string) (T, error)) ([]T, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []T
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		v, err := parse(tok)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %s %q: %w", flag, tok, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseBuffer parses one buffer-axis token; "auto" selects tcpsim's
+// half-BDP default (ByteSize 0).
+func parseBuffer(tok string) (units.ByteSize, error) {
+	if tok == "auto" {
+		return 0, nil
+	}
+	return units.ParseByteSize(tok)
+}
+
+// Apply parses the lists onto a base grid and returns the result.
+func (f AxisFlags) Apply(base workload.Axes) (workload.Axes, error) {
+	concs, err := parseList("-concs", f.Concs, strconv.Atoi)
+	if err != nil {
+		return base, err
+	}
+	flows, err := parseList("-pflows", f.Flows, strconv.Atoi)
+	if err != nil {
+		return base, err
+	}
+	sizes, err := parseList("-sizes", f.Sizes, units.ParseByteSize)
+	if err != nil {
+		return base, err
+	}
+	rtts, err := parseList("-rtts", f.RTTs, time.ParseDuration)
+	if err != nil {
+		return base, err
+	}
+	buffers, err := parseList("-buffers", f.Buffers, parseBuffer)
+	if err != nil {
+		return base, err
+	}
+	ccs, err := parseList("-ccs", f.CCs, tcpsim.ParseCongestionControl)
+	if err != nil {
+		return base, err
+	}
+	crosses, err := parseList("-crosses", f.Crosses, func(tok string) (float64, error) {
+		return strconv.ParseFloat(tok, 64)
+	})
+	if err != nil {
+		return base, err
+	}
+	if len(concs) > 0 {
+		base.Concurrencies = concs
+	}
+	if len(flows) > 0 {
+		base.ParallelFlows = flows
+	}
+	if len(sizes) > 0 {
+		base.TransferSizes = sizes
+	}
+	if len(rtts) > 0 {
+		base.RTTs = rtts
+	}
+	if len(buffers) > 0 {
+		base.Buffers = buffers
+	}
+	if len(ccs) > 0 {
+		base.CCs = ccs
+	}
+	if len(crosses) > 0 {
+		base.CrossFractions = crosses
+	}
+	return base, nil
+}

@@ -1,0 +1,94 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/tcpsim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func TestAxisFlagsApply(t *testing.T) {
+	base := workload.Axes{
+		Concurrencies: []int{4},
+		ParallelFlows: []int{8},
+		TransferSizes: []units.ByteSize{0.5 * units.GB},
+		Net:           tcpsim.DefaultConfig(),
+	}
+	f := AxisFlags{
+		Concs:   "1, 4,8",
+		Flows:   "2,8",
+		Sizes:   "0.5GB,2GB",
+		RTTs:    "8ms,16ms,64ms",
+		Buffers: "auto,2MB",
+		CCs:     "reno,cubic",
+		Crosses: "0,0.3",
+	}
+	a, err := f.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Concurrencies) != 3 || a.Concurrencies[2] != 8 {
+		t.Errorf("Concurrencies = %v", a.Concurrencies)
+	}
+	if len(a.ParallelFlows) != 2 {
+		t.Errorf("ParallelFlows = %v", a.ParallelFlows)
+	}
+	if len(a.TransferSizes) != 2 || a.TransferSizes[1] != 2*units.GB {
+		t.Errorf("TransferSizes = %v", a.TransferSizes)
+	}
+	if len(a.RTTs) != 3 || a.RTTs[0] != 8*time.Millisecond {
+		t.Errorf("RTTs = %v", a.RTTs)
+	}
+	if len(a.Buffers) != 2 || a.Buffers[0] != 0 || a.Buffers[1] != 2*units.MB {
+		t.Errorf("Buffers = %v", a.Buffers)
+	}
+	if len(a.CCs) != 2 || a.CCs[1] != tcpsim.Cubic {
+		t.Errorf("CCs = %v", a.CCs)
+	}
+	if len(a.CrossFractions) != 2 || a.CrossFractions[1] != 0.3 {
+		t.Errorf("CrossFractions = %v", a.CrossFractions)
+	}
+	if a.Size() != 3*2*2*3*2*2*2 {
+		t.Errorf("Size = %d", a.Size())
+	}
+}
+
+func TestAxisFlagsEmptyKeepsBase(t *testing.T) {
+	base := workload.Axes{
+		Concurrencies: []int{4},
+		ParallelFlows: []int{8},
+		TransferSizes: []units.ByteSize{0.5 * units.GB},
+		Net:           tcpsim.DefaultConfig(),
+	}
+	a, err := AxisFlags{}.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size() != 1 {
+		t.Errorf("Size = %d, want 1", a.Size())
+	}
+	if len(a.RTTs) != 0 {
+		t.Errorf("RTTs = %v, want base (nil)", a.RTTs)
+	}
+}
+
+func TestAxisFlagsErrors(t *testing.T) {
+	base := workload.Axes{Net: tcpsim.DefaultConfig()}
+	for name, f := range map[string]AxisFlags{
+		"-concs":   {Concs: "three"},
+		"-pflows":  {Flows: "2,x"},
+		"-sizes":   {Sizes: "half a gig"},
+		"-rtts":    {RTTs: "16"},
+		"-buffers": {Buffers: "big"},
+		"-ccs":     {CCs: "bbr"},
+		"-crosses": {Crosses: "30%"},
+	} {
+		_, err := f.Apply(base)
+		if err == nil || !strings.Contains(err.Error(), name) {
+			t.Errorf("%s: err = %v", name, err)
+		}
+	}
+}

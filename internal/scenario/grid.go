@@ -1,0 +1,193 @@
+package scenario
+
+// Grid decisions: evaluate the paper's stream-vs-store model over a
+// measured workload.GridResult, one decision per grid cell, and report
+// where the break-even flips across each axis. This is the quantitative
+// form of the cross-facility observation (George et al. 2025) that the
+// same pipeline streams at one operating point and stages at another:
+// the congestion sweep supplies the measured effective transfer rate per
+// cell, and the decision model turns it into local/remote/infeasible.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/plot"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// GridDecision is one grid cell's measured behavior coupled with the
+// decision the model reaches at that operating point.
+type GridDecision struct {
+	Row      workload.GridRow
+	Params   core.Params
+	Decision core.Decision
+}
+
+// DecideGrid evaluates the stream-vs-store decision across a measured
+// grid. base supplies the workload's compute-side parameters (complexity,
+// local and remote rates, θ); per cell, the unit size is the cell's
+// transfer size, the bandwidth is the grid's link capacity, and the
+// effective transfer rate is the congestion-degraded rate the sweep
+// measured — TransferSize over the worst-case FCT, the paper's
+// conservative α. Rows keep grid order, so Flips sees cells adjacent
+// along each axis consecutively.
+func DecideGrid(g *workload.GridResult, base core.Params, opts core.DecideOpts) ([]GridDecision, error) {
+	if g == nil || len(g.Rows) == 0 {
+		return nil, fmt.Errorf("scenario: empty grid")
+	}
+	capRate := g.Axes.Net.Capacity.ByteRate()
+	out := make([]GridDecision, 0, len(g.Rows))
+	for _, row := range g.Rows {
+		worst := row.Worst.Seconds()
+		if worst <= 0 {
+			return nil, fmt.Errorf("scenario: grid cell %d has non-positive worst FCT", row.Cell.Index)
+		}
+		p := base
+		p.UnitSize = row.Cell.TransferSize
+		p.Bandwidth = g.Axes.Net.Capacity
+		rate := units.ByteRate(row.Cell.TransferSize.Bytes() / worst)
+		if rate > capRate {
+			rate = capRate
+		}
+		p.TransferRate = rate
+		d, err := core.Decide(p, opts)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: grid cell %d: %w", row.Cell.Index, err)
+		}
+		out = append(out, GridDecision{Row: row, Params: p, Decision: d})
+	}
+	return out, nil
+}
+
+// Flip marks two cells adjacent along one axis (all other coordinates
+// equal) whose decisions differ — a break-even boundary of the grid.
+type Flip struct {
+	// Axis names the coordinate that changed ("rtt", "buffer", ...).
+	Axis     string
+	From, To GridDecision
+}
+
+// gridAxisNames lists the flip axes in report order.
+var gridAxisNames = []string{"size", "rtt", "buffer", "cc", "cross", "flows", "conc"}
+
+// axisValue renders one decision's coordinate on the named axis.
+func axisValue(d GridDecision, axis string) string {
+	c := d.Row.Cell
+	switch axis {
+	case "size":
+		return c.TransferSize.String()
+	case "rtt":
+		return c.RTT.String()
+	case "buffer":
+		return BufferLabel(c.Buffer)
+	case "cc":
+		return c.CC.String()
+	case "cross":
+		return fmt.Sprintf("%g", c.CrossFraction)
+	case "flows":
+		return fmt.Sprintf("%d", c.ParallelFlows)
+	case "conc":
+		return fmt.Sprintf("%d", c.Concurrency)
+	default:
+		return "?"
+	}
+}
+
+// BufferLabel names a buffer-axis value; 0 is tcpsim's half-BDP
+// default. Shared by every grid renderer so "auto" means the same thing
+// everywhere.
+func BufferLabel(b units.ByteSize) string {
+	if b == 0 {
+		return "auto"
+	}
+	return b.String()
+}
+
+// otherCoords keys every coordinate except the named axis.
+func otherCoords(d GridDecision, axis string) string {
+	parts := make([]string, 0, len(gridAxisNames)-1)
+	for _, a := range gridAxisNames {
+		if a != axis {
+			parts = append(parts, a+"="+axisValue(d, a))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// Flips scans decisions in grid order and returns every break-even
+// boundary: adjacent cells along one axis, all other coordinates equal,
+// with differing choices. Grid row order keeps each axis's cells in
+// axis-value order within a fixed remainder, so one ordered pass per
+// axis finds every boundary.
+func Flips(ds []GridDecision) []Flip {
+	var flips []Flip
+	for _, axis := range gridAxisNames {
+		last := make(map[string]GridDecision)
+		for _, d := range ds {
+			key := otherCoords(d, axis)
+			if prev, ok := last[key]; ok && prev.Decision.Choice != d.Decision.Choice {
+				flips = append(flips, Flip{Axis: axis, From: prev, To: d})
+			}
+			last[key] = d
+		}
+	}
+	return flips
+}
+
+// String renders one flip as a report line.
+func (f Flip) String() string {
+	return fmt.Sprintf("%s %s -> %s: %s -> %s (%s)",
+		f.Axis, axisValue(f.From, f.Axis), axisValue(f.To, f.Axis),
+		f.From.Decision.Choice, f.To.Decision.Choice, otherCoords(f.To, f.Axis))
+}
+
+// FlipReport renders the break-even flip block — the same lines every
+// grid renderer prints — with each line prefixed by indent.
+func FlipReport(ds []GridDecision, indent string) string {
+	var b strings.Builder
+	flips := Flips(ds)
+	if len(flips) == 0 {
+		fmt.Fprintf(&b, "%sbreak-even flips: none (decision uniform across the grid)\n", indent)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%sbreak-even flips (%d):\n", indent, len(flips))
+	for _, f := range flips {
+		fmt.Fprintf(&b, "%s  %s\n", indent, f)
+	}
+	return b.String()
+}
+
+// RenderGrid formats grid decisions as an aligned table followed by the
+// break-even flip report.
+func RenderGrid(ds []GridDecision) string {
+	t := &plot.Table{Header: []string{
+		"Size", "RTT", "Buffer", "CC", "Cross", "Conc", "P",
+		"Worst", "R_eff", "T_local", "T_pct", "Gain", "Decision",
+	}}
+	for _, d := range ds {
+		c := d.Row.Cell
+		t.AddRow(
+			c.TransferSize.String(),
+			c.RTT.String(),
+			BufferLabel(c.Buffer),
+			c.CC.String(),
+			fmt.Sprintf("%g", c.CrossFraction),
+			fmt.Sprintf("%d", c.Concurrency),
+			fmt.Sprintf("%d", c.ParallelFlows),
+			d.Row.Worst.Round(time.Millisecond).String(),
+			d.Params.TransferRate.String(),
+			d.Decision.Breakdown.TLocal.Round(time.Millisecond).String(),
+			d.Decision.Breakdown.TPct.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.2f", d.Decision.Gain),
+			d.Decision.Choice.String(),
+		)
+	}
+	var b strings.Builder
+	b.WriteString(t.String())
+	b.WriteString(FlipReport(ds, ""))
+	return b.String()
+}

@@ -1,0 +1,147 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tcpsim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// decisionParams mirrors the paper's §5 example: 17e12 FLOP/GB, 5 TF
+// local, 100 TF remote, streaming (θ=1). T_local for 2 GB is 6.8 s, so a
+// measured worst FCT of 1 s chooses remote and 10 s chooses local.
+func decisionParams() core.Params {
+	return core.Params{
+		ComplexityFLOPPerByte: core.ComplexityFLOPPerGB(17e12),
+		LocalRate:             5 * units.TeraFLOPS,
+		RemoteRate:            100 * units.TeraFLOPS,
+		Theta:                 1,
+	}
+}
+
+// syntheticGrid builds a 2-RTT × 2-concurrency grid with chosen worst
+// FCTs, so decision behavior is exact rather than simulated.
+func syntheticGrid(worsts map[int]time.Duration) *workload.GridResult {
+	axes := workload.Axes{
+		Duration:      10 * time.Second,
+		Concurrencies: []int{4, 8},
+		ParallelFlows: []int{8},
+		TransferSizes: []units.ByteSize{2 * units.GB},
+		RTTs:          []time.Duration{16 * time.Millisecond, 64 * time.Millisecond},
+		Net:           tcpsim.DefaultConfig(),
+	}
+	g := &workload.GridResult{Axes: axes}
+	for _, c := range axes.Cells() {
+		g.Rows = append(g.Rows, workload.GridRow{
+			Cell: c,
+			SweepRow: workload.SweepRow{
+				Concurrency:   c.Concurrency,
+				ParallelFlows: c.ParallelFlows,
+				Worst:         worsts[c.Index],
+			},
+		})
+	}
+	return g
+}
+
+func TestDecideGridFlipsAlongRTT(t *testing.T) {
+	// RTT axis is outermost: cells 0,1 are 16 ms (fast), cells 2,3 are
+	// 64 ms (slow). Fast cells transfer 2 GB in 1 s → remote wins; slow
+	// cells take 10 s → local wins.
+	g := syntheticGrid(map[int]time.Duration{
+		0: 1 * time.Second, 1: 1 * time.Second,
+		2: 10 * time.Second, 3: 10 * time.Second,
+	})
+	ds, err := DecideGrid(g, decisionParams(), core.DecideOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 4 {
+		t.Fatalf("decisions = %d, want 4", len(ds))
+	}
+	for i, want := range []core.Choice{core.ChooseRemote, core.ChooseRemote, core.ChooseLocal, core.ChooseLocal} {
+		if ds[i].Decision.Choice != want {
+			t.Errorf("cell %d: choice %v, want %v (params %v)", i, ds[i].Decision.Choice, want, ds[i].Params)
+		}
+	}
+
+	flips := Flips(ds)
+	if len(flips) != 2 {
+		t.Fatalf("flips = %v, want 2 (one per concurrency, along rtt)", flips)
+	}
+	for _, f := range flips {
+		if f.Axis != "rtt" {
+			t.Errorf("flip axis = %q, want rtt", f.Axis)
+		}
+		if f.From.Decision.Choice != core.ChooseRemote || f.To.Decision.Choice != core.ChooseLocal {
+			t.Errorf("flip direction = %v -> %v", f.From.Decision.Choice, f.To.Decision.Choice)
+		}
+	}
+
+	out := RenderGrid(ds)
+	for _, want := range []string{"break-even flips (2):", "rtt 16ms -> 64ms: remote -> local", "Decision"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDecideGridUniform(t *testing.T) {
+	g := syntheticGrid(map[int]time.Duration{
+		0: 1 * time.Second, 1: 1 * time.Second,
+		2: 1 * time.Second, 3: 1 * time.Second,
+	})
+	ds, err := DecideGrid(g, decisionParams(), core.DecideOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flips := Flips(ds); len(flips) != 0 {
+		t.Errorf("uniform grid produced flips: %v", flips)
+	}
+	if out := RenderGrid(ds); !strings.Contains(out, "break-even flips: none") {
+		t.Errorf("render missing uniform note:\n%s", out)
+	}
+}
+
+func TestDecideGridMeasuredEndToEnd(t *testing.T) {
+	// A real (tiny) grid through the simulator: effective rates must stay
+	// within the link and decisions must be well-formed for every cell.
+	axes := workload.Axes{
+		Duration:      1 * time.Second,
+		Concurrencies: []int{2, 6},
+		ParallelFlows: []int{8},
+		TransferSizes: []units.ByteSize{0.5 * units.GB},
+		RTTs:          []time.Duration{8 * time.Millisecond, 32 * time.Millisecond},
+		Net:           tcpsim.DefaultConfig(),
+	}
+	g, err := workload.RunGridParallel(axes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := DecideGrid(g, decisionParams(), core.DecideOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capRate := axes.Net.Capacity.ByteRate()
+	for _, d := range ds {
+		if d.Params.TransferRate <= 0 || d.Params.TransferRate > capRate {
+			t.Errorf("cell %d: effective rate %v outside (0, %v]", d.Row.Cell.Index, d.Params.TransferRate, capRate)
+		}
+		if err := d.Params.Validate(); err != nil {
+			t.Errorf("cell %d: invalid params: %v", d.Row.Cell.Index, err)
+		}
+	}
+}
+
+func TestDecideGridEmpty(t *testing.T) {
+	if _, err := DecideGrid(nil, decisionParams(), core.DecideOpts{}); err == nil {
+		t.Error("nil grid accepted")
+	}
+	if _, err := DecideGrid(&workload.GridResult{}, decisionParams(), core.DecideOpts{}); err == nil {
+		t.Error("empty grid accepted")
+	}
+}

@@ -21,6 +21,19 @@ func TestCCString(t *testing.T) {
 	}
 }
 
+func TestParseCongestionControl(t *testing.T) {
+	// Round trip: every supported controller parses back from its name.
+	for _, cc := range []CongestionControl{Reno, Cubic} {
+		got, err := ParseCongestionControl(cc.String())
+		if err != nil || got != cc {
+			t.Errorf("ParseCongestionControl(%q) = %v, %v", cc.String(), got, err)
+		}
+	}
+	if _, err := ParseCongestionControl("bbr"); err == nil {
+		t.Error("unknown controller accepted")
+	}
+}
+
 func TestValidateRejectsUnknownCC(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.CC = CongestionControl(9)

@@ -88,6 +88,20 @@ func (cc CongestionControl) String() string {
 	}
 }
 
+// ParseCongestionControl maps a controller name ("reno", "cubic") back
+// to its constant — the inverse of String, for CLI flags and config
+// files.
+func ParseCongestionControl(name string) (CongestionControl, error) {
+	switch name {
+	case "reno":
+		return Reno, nil
+	case "cubic":
+		return Cubic, nil
+	default:
+		return 0, fmt.Errorf("tcpsim: unknown congestion control %q (want reno or cubic)", name)
+	}
+}
+
 // DefaultConfig mirrors the paper's Table 1/2 testbed.
 func DefaultConfig() Config {
 	return Config{

@@ -41,67 +41,185 @@ func (s SweepConfig) Fingerprint() string {
 	return b.String()
 }
 
+// memo is a single-flight memoization map: concurrent gets for the same
+// key run one compute and share the result. It backs both SweepCache and
+// GridCache.
+type memo[T any] struct {
+	mu      sync.Mutex
+	entries map[string]*memoEntry[T]
+}
+
+type memoEntry[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+func (m *memo[T]) get(key string, compute func() (T, error)) (T, error) {
+	m.mu.Lock()
+	if m.entries == nil {
+		m.entries = make(map[string]*memoEntry[T])
+	}
+	e, ok := m.entries[key]
+	if !ok {
+		e = &memoEntry[T]{}
+		m.entries[key] = e
+	}
+	m.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = compute() })
+	return e.val, e.err
+}
+
+func (m *memo[T]) len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+func (m *memo[T]) purge() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries = make(map[string]*memoEntry[T])
+}
+
+// diskMemo layers the disk cache under a single-flight memo: a miss
+// first tries the version-stamped file for the key and only computes —
+// then writes — when the file is absent or defective. SweepCache and
+// GridCache wrap it with their payload types.
+type diskMemo[T any] struct {
+	mem memo[*T]
+
+	mu  sync.Mutex
+	dir string
+}
+
+// SetDiskDir points the cache at a disk directory ("" disables
+// persistence). Entries already memoized in memory are unaffected.
+func (c *diskMemo[T]) SetDiskDir(dir string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dir = dir
+}
+
+// DiskDir returns the configured disk directory ("" when disabled).
+func (c *diskMemo[T]) DiskDir() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dir
+}
+
+// get is the disk-first single-flight lookup. persist gates both the
+// disk load and the store (results that pin client records stay
+// memory-only). accept inspects a freshly-loaded value — rejecting
+// defective payloads and restoring caller-authoritative fields (the
+// config behind the fingerprint).
+func (c *diskMemo[T]) get(key string, persist bool, accept func(*T) bool, compute func() (*T, error)) (*T, error) {
+	return c.mem.get(key, func() (*T, error) {
+		dir := c.DiskDir()
+		if persist {
+			var cached T
+			if diskLoad(dir, key, &cached) && accept(&cached) {
+				return &cached, nil
+			}
+		}
+		res, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		if persist {
+			// Best-effort: an unwritable cache dir must not fail the run.
+			_ = diskStore(dir, key, res)
+		}
+		return res, nil
+	})
+}
+
+// Len reports how many distinct entries the cache holds in memory.
+func (c *diskMemo[T]) Len() int { return c.mem.len() }
+
+// Purge empties the in-memory cache. Disk files persist; use
+// PurgeDiskCache to remove those.
+func (c *diskMemo[T]) Purge() { c.mem.purge() }
+
 // SweepCache memoizes sweep results by config fingerprint, so pipelines
 // that regenerate several artifacts from the same sweep (Fig. 2a → Fig. 3
 // → case study, repeated benchmark iterations) compute each distinct
 // sweep exactly once. Lookups are single-flight: concurrent Get calls for
-// the same fingerprint run one sweep and share the result.
+// the same fingerprint run one sweep and share the result; with a disk
+// directory set (SetDiskDir), results also persist across processes.
 //
 // Cached *SweepResult values are SHARED — callers must treat them as
 // read-only. Keep SweepConfig.KeepClientResults off for cached sweeps
-// (the default) so the cache holds only per-row aggregates.
+// (the default) so the cache holds only per-row aggregates; sweeps that
+// keep client results are never persisted to disk.
 type SweepCache struct {
-	mu      sync.Mutex
-	entries map[string]*cacheEntry
+	diskMemo[SweepResult]
 }
 
-type cacheEntry struct {
-	once sync.Once
-	res  *SweepResult
-	err  error
-}
+// NewSweepCache returns an empty cache with disk persistence off.
+func NewSweepCache() *SweepCache { return &SweepCache{} }
 
-// NewSweepCache returns an empty cache.
-func NewSweepCache() *SweepCache {
-	return &SweepCache{entries: make(map[string]*cacheEntry)}
-}
-
-// Get returns the cached result for cfg, computing it with
-// RunSweepParallel(cfg, workers) on first use. The workers count does not
-// key the cache: the parallel driver is bit-identical for every worker
+// Get returns the cached result for cfg, computing it through the grid
+// executor on first use (disk first when enabled). The workers count
+// does not key the cache: the executor is bit-identical for every worker
 // count, so whichever Get arrives first fixes only how the sweep is
 // computed, never what it contains.
 func (c *SweepCache) Get(cfg SweepConfig, workers int) (*SweepResult, error) {
-	key := cfg.Fingerprint()
-	c.mu.Lock()
-	e, ok := c.entries[key]
-	if !ok {
-		e = &cacheEntry{}
-		c.entries[key] = e
+	return c.get(cfg.Fingerprint(), !cfg.KeepClientResults,
+		func(r *SweepResult) bool {
+			if len(r.Rows) == 0 {
+				return false
+			}
+			// Trust the rows, not the stored config: equal fingerprints
+			// guarantee equal rows, and cfg is authoritative for the rest.
+			r.Config = cfg
+			return true
+		},
+		func() (*SweepResult, error) { return runSweepViaGrid(cfg, workers) })
+}
+
+// GridCache memoizes scenario-grid results by Axes fingerprint with the
+// same single-flight and disk-persistence semantics as SweepCache.
+// Cached *GridResult values are SHARED — treat them as read-only.
+type GridCache struct {
+	diskMemo[GridResult]
+}
+
+// NewGridCache returns an empty cache with disk persistence off.
+func NewGridCache() *GridCache { return &GridCache{} }
+
+// Get returns the cached result for the grid, computing it with
+// RunGridParallel(a, workers) on first use (disk first when enabled).
+func (c *GridCache) Get(a Axes, workers int) (*GridResult, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
 	}
-	c.mu.Unlock()
-	e.once.Do(func() {
-		e.res, e.err = RunSweepParallel(cfg, workers)
-	})
-	return e.res, e.err
+	a = a.normalized()
+	return c.get(a.Fingerprint(), !a.KeepClientResults,
+		func(r *GridResult) bool {
+			if len(r.Rows) == 0 {
+				return false
+			}
+			r.Axes = a
+			return true
+		},
+		func() (*GridResult, error) { return RunGridParallel(a, workers) })
 }
 
-// Len reports how many distinct sweeps the cache holds.
-func (c *SweepCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
-}
+// defaultCache and defaultGridCache back the process-wide cached
+// entry points.
+var (
+	defaultCache     = NewSweepCache()
+	defaultGridCache = NewGridCache()
+)
 
-// Purge empties the cache, releasing every held SweepResult.
-func (c *SweepCache) Purge() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.entries = make(map[string]*cacheEntry)
+// SetDiskCacheDir enables (or, with "", disables) disk persistence on
+// the process-wide sweep and grid caches. CLIs call this once at
+// startup with the resolved -cache-dir value.
+func SetDiskCacheDir(dir string) {
+	defaultCache.SetDiskDir(dir)
+	defaultGridCache.SetDiskDir(dir)
 }
-
-// defaultCache backs RunSweepCached: one process-wide memo of sweeps.
-var defaultCache = NewSweepCache()
 
 // RunSweepCached returns the process-wide cached result for cfg,
 // computing it in parallel on first use. Callers must treat the result
@@ -111,5 +229,14 @@ func RunSweepCached(cfg SweepConfig, workers int) (*SweepResult, error) {
 	return defaultCache.Get(cfg, workers)
 }
 
-// PurgeSweepCache empties the process-wide sweep cache.
+// PurgeSweepCache empties the process-wide in-memory sweep cache.
 func PurgeSweepCache() { defaultCache.Purge() }
+
+// RunGridCached returns the process-wide cached result for the grid,
+// computing it in parallel on first use. Treat the result as read-only.
+func RunGridCached(a Axes, workers int) (*GridResult, error) {
+	return defaultGridCache.Get(a, workers)
+}
+
+// PurgeGridCache empties the process-wide in-memory grid cache.
+func PurgeGridCache() { defaultGridCache.Purge() }

@@ -88,6 +88,32 @@ func TestSweepDeterminism(t *testing.T) {
 			}
 			return r.Rows, nil
 		}},
+		{"grid executor", func() ([]SweepRow, error) {
+			g, err := RunGridParallel(AxesFromSweep(cfg), 0)
+			if err != nil {
+				return nil, err
+			}
+			rows := make([]SweepRow, len(g.Rows))
+			for i := range g.Rows {
+				rows[i] = g.Rows[i].SweepRow
+			}
+			return rows, nil
+		}},
+		{"disk cached (store then warm load)", func() ([]SweepRow, error) {
+			dir := t.TempDir()
+			cold := NewSweepCache()
+			cold.SetDiskDir(dir)
+			if _, err := cold.Get(cfg, 0); err != nil {
+				return nil, err
+			}
+			warm := NewSweepCache()
+			warm.SetDiskDir(dir)
+			r, err := warm.Get(cfg, 0)
+			if err != nil {
+				return nil, err
+			}
+			return r.Rows, nil
+		}},
 	}
 	for _, d := range drivers {
 		rows, err := d.run()

@@ -1,0 +1,174 @@
+package workload
+
+// Disk persistence for the sweep/grid caches: rows serialized as
+// version-stamped JSON envelopes under a cache directory (by default
+// ~/.cache/repro/sweeps), keyed by config fingerprint, so repeated CLI
+// invocations (cmd/figgen, cmd/ssslab, cmd/streamdecide) skip
+// recomputation across processes, not just within one. The layer is
+// corruption-tolerant — any unreadable, truncated, version-mismatched or
+// foreign file is treated as a miss and recomputed — and sits under the
+// in-memory caches' single-flight entries, so concurrent lookups of one
+// fingerprint do one disk read (or one compute plus one write).
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// DiskCacheVersion stamps every cache file. Bump it whenever the row
+// schema or the simulation dynamics change: stale files then miss on the
+// version check and are rewritten after recompute.
+const DiskCacheVersion = "repro-sweeps/v1"
+
+// cacheDirEnv overrides the default disk cache location, so CI runs in a
+// hermetic temp dir and never reads a stale developer cache.
+const cacheDirEnv = "CACHE_DIR"
+
+// diskEnvelope is the on-disk file format.
+type diskEnvelope struct {
+	Version     string          `json:"version"`
+	Fingerprint string          `json:"fingerprint"`
+	Payload     json.RawMessage `json:"payload"`
+}
+
+// DefaultDiskCacheDir returns the disk cache directory: $CACHE_DIR if
+// set, else <user cache dir>/repro/sweeps (~/.cache/repro/sweeps on
+// Linux).
+func DefaultDiskCacheDir() (string, error) {
+	if dir := os.Getenv(cacheDirEnv); dir != "" {
+		return dir, nil
+	}
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", fmt.Errorf("workload: resolving cache dir: %w", err)
+	}
+	return filepath.Join(base, "repro", "sweeps"), nil
+}
+
+// ResolveCacheDir maps a CLI -cache-dir flag value onto a directory:
+// an explicit path wins, "" selects the default (CACHE_DIR env, then
+// ~/.cache/repro/sweeps), and "off" / "none" disable disk persistence
+// (returning the empty string). An environment with no resolvable cache
+// location (neither $CACHE_DIR nor a user cache dir, e.g. a minimal
+// container without $HOME) degrades to persistence off rather than
+// failing: the cache is an accelerator, never a requirement.
+func ResolveCacheDir(flagValue string) (string, error) {
+	switch flagValue {
+	case "off", "none":
+		return "", nil
+	case "":
+		dir, err := DefaultDiskCacheDir()
+		if err != nil {
+			return "", nil
+		}
+		return dir, nil
+	default:
+		return flagValue, nil
+	}
+}
+
+// diskPath names the cache file for a fingerprint. Fingerprints are
+// long canonical strings; the filename is a hash prefix, and the full
+// fingerprint inside the envelope guards against prefix collisions.
+func diskPath(dir, fingerprint string) string {
+	sum := sha256.Sum256([]byte(fingerprint))
+	return filepath.Join(dir, hex.EncodeToString(sum[:16])+".json")
+}
+
+// diskLoad reads the cached payload for a fingerprint into out.
+// It reports false — a miss, never an error — on any defect: missing
+// file, truncated or corrupt JSON, version or fingerprint mismatch.
+// Defective files are removed so the following store rewrites them.
+func diskLoad(dir, fingerprint string, out any) bool {
+	if dir == "" {
+		return false
+	}
+	path := diskPath(dir, fingerprint)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	var env diskEnvelope
+	if err := json.Unmarshal(data, &env); err != nil ||
+		env.Version != DiskCacheVersion ||
+		env.Fingerprint != fingerprint ||
+		json.Unmarshal(env.Payload, out) != nil {
+		os.Remove(path)
+		return false
+	}
+	return true
+}
+
+// diskStore atomically writes the payload for a fingerprint
+// (temp file + rename, so readers never observe a partial write).
+func diskStore(dir, fingerprint string, payload any) error {
+	if dir == "" {
+		return nil
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("workload: encoding cache payload: %w", err)
+	}
+	data, err := json.Marshal(diskEnvelope{
+		Version:     DiskCacheVersion,
+		Fingerprint: fingerprint,
+		Payload:     raw,
+	})
+	if err != nil {
+		return fmt.Errorf("workload: encoding cache envelope: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("workload: creating cache dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".sweep-*.tmp")
+	if err != nil {
+		return fmt.Errorf("workload: creating cache temp file: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("workload: writing cache file: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("workload: closing cache file: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), diskPath(dir, fingerprint)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("workload: publishing cache file: %w", err)
+	}
+	return nil
+}
+
+// PurgeDiskCache deletes every cache file under dir ("" selects the
+// default directory). Other files are left alone; a missing directory is
+// not an error.
+func PurgeDiskCache(dir string) error {
+	if dir == "" {
+		var err error
+		if dir, err = DefaultDiskCacheDir(); err != nil {
+			return err
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("workload: purging disk cache: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || filepath.Ext(name) != ".json" {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			return fmt.Errorf("workload: purging disk cache: %w", err)
+		}
+	}
+	return nil
+}

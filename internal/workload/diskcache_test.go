@@ -1,0 +1,346 @@
+package workload
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// rowsJSON encodes sweep rows for byte-identity comparison.
+func rowsJSON(t *testing.T, rows []SweepRow) string {
+	t.Helper()
+	b, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestDiskCacheWarmSweep is the disk-persistence contract: a second
+// cache (a fresh process, in effect) pointed at the same directory
+// serves the sweep entirely from disk — zero engine runs — and the
+// loaded rows are byte-identical to the computed ones.
+func TestDiskCacheWarmSweep(t *testing.T) {
+	dir := t.TempDir()
+	cfg := fastSweep()
+
+	cold := NewSweepCache()
+	cold.SetDiskDir(dir)
+	first, err := cold.Get(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(diskPath(dir, cfg.Fingerprint())); err != nil {
+		t.Fatalf("cache file not written: %v", err)
+	}
+
+	warm := NewSweepCache()
+	warm.SetDiskDir(dir)
+	before := EngineRunCount()
+	second, err := warm.Get(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs := EngineRunCount() - before; runs != 0 {
+		t.Fatalf("warm disk path ran %d experiments, want 0", runs)
+	}
+	if rowsJSON(t, second.Rows) != rowsJSON(t, first.Rows) {
+		t.Fatal("disk-loaded rows not byte-identical to computed rows")
+	}
+	if second.Config.Fingerprint() != cfg.Fingerprint() {
+		t.Fatal("loaded result lost its config")
+	}
+}
+
+// TestDiskCacheWarmGrid is the same contract for multi-axis grids.
+func TestDiskCacheWarmGrid(t *testing.T) {
+	dir := t.TempDir()
+	a := fastAxes()
+
+	cold := NewGridCache()
+	cold.SetDiskDir(dir)
+	first, err := cold.Get(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warm := NewGridCache()
+	warm.SetDiskDir(dir)
+	before := EngineRunCount()
+	second, err := warm.Get(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs := EngineRunCount() - before; runs != 0 {
+		t.Fatalf("warm disk path ran %d experiments, want 0", runs)
+	}
+	firstJSON, _ := json.Marshal(first.Rows)
+	secondJSON, _ := json.Marshal(second.Rows)
+	if string(firstJSON) != string(secondJSON) {
+		t.Fatal("disk-loaded grid rows not byte-identical to computed rows")
+	}
+}
+
+// corruptionCases mangles a valid cache file in every way the loader
+// must tolerate.
+var corruptionCases = map[string]func(t *testing.T, path string){
+	"garbage": func(t *testing.T, path string) {
+		if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	},
+	"truncated": func(t *testing.T, path string) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	},
+	"empty": func(t *testing.T, path string) {
+		if err := os.WriteFile(path, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	},
+	"version mismatch": func(t *testing.T, path string) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env diskEnvelope
+		if err := json.Unmarshal(data, &env); err != nil {
+			t.Fatal(err)
+		}
+		env.Version = "repro-sweeps/v0-ancient"
+		out, err := json.Marshal(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	},
+	"fingerprint mismatch": func(t *testing.T, path string) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env diskEnvelope
+		if err := json.Unmarshal(data, &env); err != nil {
+			t.Fatal(err)
+		}
+		env.Fingerprint = "grid;someone-elses-config"
+		out, err := json.Marshal(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	},
+	"payload wrong shape": func(t *testing.T, path string) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env diskEnvelope
+		if err := json.Unmarshal(data, &env); err != nil {
+			t.Fatal(err)
+		}
+		env.Payload = json.RawMessage(`[1, 2, 3]`)
+		out, err := json.Marshal(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	},
+}
+
+// TestDiskCacheCorruptionFallsBack: every class of defective cache file
+// is treated as a miss — the sweep recomputes, produces correct rows,
+// and rewrites a good file.
+func TestDiskCacheCorruptionFallsBack(t *testing.T) {
+	cfg := fastSweep()
+	want, err := RunSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := rowsJSON(t, want.Rows)
+
+	for name, corrupt := range corruptionCases {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			seeder := NewSweepCache()
+			seeder.SetDiskDir(dir)
+			if _, err := seeder.Get(cfg, 0); err != nil {
+				t.Fatal(err)
+			}
+			path := diskPath(dir, cfg.Fingerprint())
+			corrupt(t, path)
+
+			c := NewSweepCache()
+			c.SetDiskDir(dir)
+			before := EngineRunCount()
+			res, err := c.Get(cfg, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if EngineRunCount() == before {
+				t.Error("defective cache file served without recompute")
+			}
+			if rowsJSON(t, res.Rows) != wantJSON {
+				t.Error("recomputed rows differ from reference")
+			}
+			// The recompute must leave a good file behind.
+			var reloaded SweepResult
+			if !diskLoad(dir, cfg.Fingerprint(), &reloaded) {
+				t.Error("cache file not repaired after recompute")
+			} else if rowsJSON(t, reloaded.Rows) != wantJSON {
+				t.Error("repaired cache file holds wrong rows")
+			}
+		})
+	}
+}
+
+// TestDiskCacheSingleFlight: concurrent readers of one fingerprint on a
+// cold cache trigger exactly one sweep computation.
+func TestDiskCacheSingleFlight(t *testing.T) {
+	dir := t.TempDir()
+	cfg := fastSweep()
+	c := NewSweepCache()
+	c.SetDiskDir(dir)
+
+	before := EngineRunCount()
+	const readers = 8
+	results := make([]*SweepResult, readers)
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := c.Get(cfg, 2)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	if runs := EngineRunCount() - before; runs != int64(cfg.Size()) {
+		t.Errorf("%d readers ran %d experiments, want exactly one sweep (%d)", readers, runs, cfg.Size())
+	}
+	for i := 1; i < readers; i++ {
+		if results[i] != results[0] {
+			t.Fatal("readers did not share the single-flight result")
+		}
+	}
+}
+
+// TestDiskCacheKeepClientResultsNotPersisted: sweeps that pin full
+// client results stay memory-only.
+func TestDiskCacheKeepClientResultsNotPersisted(t *testing.T) {
+	dir := t.TempDir()
+	cfg := fastSweep()
+	cfg.KeepClientResults = true
+	c := NewSweepCache()
+	c.SetDiskDir(dir)
+	if _, err := c.Get(cfg, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(diskPath(dir, cfg.Fingerprint())); !os.IsNotExist(err) {
+		t.Errorf("KeepClientResults sweep persisted to disk (stat err = %v)", err)
+	}
+}
+
+func TestPurgeDiskCache(t *testing.T) {
+	dir := t.TempDir()
+	c := NewSweepCache()
+	c.SetDiskDir(dir)
+	if _, err := c.Get(fastSweep(), 0); err != nil {
+		t.Fatal(err)
+	}
+	keep := filepath.Join(dir, "NOTES.txt")
+	if err := os.WriteFile(keep, []byte("not a cache file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := PurgeDiskCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".json" {
+			t.Errorf("cache file %s survived purge", e.Name())
+		}
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Errorf("purge removed unrelated file: %v", err)
+	}
+	// A missing directory is not an error.
+	if err := PurgeDiskCache(filepath.Join(dir, "missing")); err != nil {
+		t.Errorf("purge of missing dir: %v", err)
+	}
+}
+
+func TestResolveCacheDir(t *testing.T) {
+	for _, off := range []string{"off", "none"} {
+		dir, err := ResolveCacheDir(off)
+		if err != nil || dir != "" {
+			t.Errorf("ResolveCacheDir(%q) = %q, %v; want disabled", off, dir, err)
+		}
+	}
+	if dir, err := ResolveCacheDir("/tmp/explicit"); err != nil || dir != "/tmp/explicit" {
+		t.Errorf("explicit dir = %q, %v", dir, err)
+	}
+	t.Setenv(cacheDirEnv, "/tmp/from-env")
+	if dir, err := ResolveCacheDir(""); err != nil || dir != "/tmp/from-env" {
+		t.Errorf("env dir = %q, %v", dir, err)
+	}
+
+	// No resolvable location at all (minimal container: no CACHE_DIR, no
+	// HOME) degrades to persistence off, never an error — CLIs must keep
+	// working without a cache.
+	t.Setenv(cacheDirEnv, "")
+	t.Setenv("HOME", "")
+	t.Setenv("XDG_CACHE_HOME", "")
+	if dir, err := ResolveCacheDir(""); err != nil || dir != "" {
+		t.Errorf("unresolvable default = %q, %v; want persistence off", dir, err)
+	}
+}
+
+// TestSetDiskCacheDirProcessWide wires the default caches to a temp dir
+// and back, asserting RunSweepCached persists and re-serves from disk.
+func TestSetDiskCacheDirProcessWide(t *testing.T) {
+	dir := t.TempDir()
+	SetDiskCacheDir(dir)
+	defer SetDiskCacheDir("")
+	defer PurgeSweepCache()
+	defer PurgeGridCache()
+
+	cfg := fastSweep()
+	cfg.Duration = 1 * 1e9 // 1 s, distinct from other tests' entries
+	first, err := RunSweepCached(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PurgeSweepCache()
+	before := EngineRunCount()
+	second, err := RunSweepCached(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs := EngineRunCount() - before; runs != 0 {
+		t.Fatalf("warm process-wide path ran %d experiments, want 0", runs)
+	}
+	if rowsJSON(t, first.Rows) != rowsJSON(t, second.Rows) {
+		t.Fatal("process-wide disk round-trip changed rows")
+	}
+}

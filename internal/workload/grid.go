@@ -1,0 +1,353 @@
+package workload
+
+// The scenario-grid subsystem: N-dimensional sweep grids over the full
+// operating envelope — concurrency × parallel flows × transfer size ×
+// base RTT × bottleneck buffer × congestion control × cross-traffic loss
+// pressure — instead of only Table 2's concurrency/flow plane. An Axes
+// value lowers to a deterministic stream of GridCells, each a
+// SweepConfig-compatible Experiment, executed by the same
+// engine-per-worker pool as the Table 2 sweep; cross-facility studies
+// (George et al. 2025) show stream-vs-store decisions flip across
+// exactly these axes, so the break-even analysis must cover them.
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/tcpsim"
+	"repro/internal/units"
+)
+
+// Axes describes an N-dimensional scenario grid. The Table 2 plane
+// (Concurrencies × ParallelFlows) and TransferSizes must be non-empty;
+// the network axes (RTTs, Buffers, CCs, CrossFractions) may be left nil,
+// in which case the corresponding Net field supplies a single point. All
+// other Net fields (capacity, MSS, seed, cross-traffic shape, ...) are
+// shared by every cell.
+type Axes struct {
+	// Duration is how long clients keep spawning in every cell.
+	Duration time.Duration
+	// Concurrencies is clients spawned per second (Table 2: 1–8).
+	Concurrencies []int
+	// ParallelFlows is P, TCP flows per client (Table 2: 2, 4, 8).
+	ParallelFlows []int
+	// TransferSizes is the per-client volume axis.
+	TransferSizes []units.ByteSize
+	// RTTs sweeps the uncongested round-trip time.
+	RTTs []time.Duration
+	// Buffers sweeps the bottleneck drop-tail queue; 0 selects tcpsim's
+	// default (half a bandwidth-delay product at that cell's RTT).
+	Buffers []units.ByteSize
+	// CCs sweeps the congestion-control algorithm.
+	CCs []tcpsim.CongestionControl
+	// CrossFractions sweeps background cross-traffic load — the model's
+	// loss-pressure axis: higher fractions shrink the residual capacity
+	// and deepen buffer-overflow loss. The wave shape (period, duty,
+	// jitter) comes from Net.Cross.
+	CrossFractions []float64
+	// Strategy selects the spawning mode for every cell.
+	Strategy Strategy
+	// Net is the base network configuration; axis values override
+	// BaseRTT, Buffer, CC, and Cross.Fraction per cell.
+	Net tcpsim.Config
+	// KeepClientResults retains full per-client results on every row
+	// (see SweepConfig.KeepClientResults). Leave off for cached grids.
+	KeepClientResults bool
+}
+
+// AxesFromSweep lowers a Table 2 sweep onto the grid: singleton network
+// axes, identical cell ordering and per-cell seeds, hence bit-identical
+// rows (TestGridMatchesSweep holds the two executors together).
+func AxesFromSweep(cfg SweepConfig) Axes {
+	return Axes{
+		Duration:          cfg.Duration,
+		Concurrencies:     cfg.Concurrencies,
+		ParallelFlows:     cfg.ParallelFlows,
+		TransferSizes:     []units.ByteSize{cfg.TransferSize},
+		Strategy:          cfg.Strategy,
+		Net:               cfg.Net,
+		KeepClientResults: cfg.KeepClientResults,
+	}
+}
+
+// normalized fills empty network axes with the base Net's single point.
+func (a Axes) normalized() Axes {
+	if len(a.RTTs) == 0 {
+		a.RTTs = []time.Duration{a.Net.BaseRTT}
+	}
+	if len(a.Buffers) == 0 {
+		a.Buffers = []units.ByteSize{a.Net.Buffer}
+	}
+	if len(a.CCs) == 0 {
+		a.CCs = []tcpsim.CongestionControl{a.Net.CC}
+	}
+	if len(a.CrossFractions) == 0 {
+		a.CrossFractions = []float64{a.Net.Cross.Fraction}
+	}
+	return a
+}
+
+// Validate checks that every axis has at least one value. Per-cell
+// parameter validation (positive RTTs, known CC, cross fraction range,
+// ...) happens when each cell's Experiment runs.
+func (a Axes) Validate() error {
+	n := a.normalized()
+	switch {
+	case len(n.Concurrencies) == 0:
+		return fmt.Errorf("workload: empty grid axis Concurrencies")
+	case len(n.ParallelFlows) == 0:
+		return fmt.Errorf("workload: empty grid axis ParallelFlows")
+	case len(n.TransferSizes) == 0:
+		return fmt.Errorf("workload: empty grid axis TransferSizes")
+	}
+	return nil
+}
+
+// NetPoints returns the number of distinct network points — the size of
+// the TransferSizes × RTTs × Buffers × CCs × CrossFractions product.
+func (a Axes) NetPoints() int {
+	n := a.normalized()
+	return len(n.TransferSizes) * len(n.RTTs) * len(n.Buffers) * len(n.CCs) * len(n.CrossFractions)
+}
+
+// Size returns the total number of cells in the grid.
+func (a Axes) Size() int {
+	n := a.normalized()
+	return a.NetPoints() * len(n.Concurrencies) * len(n.ParallelFlows)
+}
+
+// GridCell is one grid coordinate: a network point plus one Table 2
+// plane position.
+type GridCell struct {
+	// Index is the cell's row position in GridResult.Rows.
+	Index int
+	// NetIndex identifies the network point (position in the size × RTT
+	// × buffer × CC × cross product); cells sharing a NetIndex differ
+	// only within the Table 2 plane.
+	NetIndex      int
+	TransferSize  units.ByteSize
+	RTT           time.Duration
+	Buffer        units.ByteSize // 0 = tcpsim default (half BDP)
+	CC            tcpsim.CongestionControl
+	CrossFraction float64
+	Concurrency   int
+	ParallelFlows int
+}
+
+// Cells enumerates the grid in deterministic row order: network axes
+// outermost (sizes, then RTTs, buffers, CCs, cross fractions), then the
+// Table 2 plane in sweep order (flow counts outer, concurrencies inner).
+// With singleton network axes this is exactly RunSweep's cell order.
+func (a Axes) Cells() []GridCell {
+	n := a.normalized()
+	cells := make([]GridCell, 0, a.Size())
+	netIdx := 0
+	for _, size := range n.TransferSizes {
+		for _, rtt := range n.RTTs {
+			for _, buf := range n.Buffers {
+				for _, cc := range n.CCs {
+					for _, cross := range n.CrossFractions {
+						for _, p := range n.ParallelFlows {
+							for _, conc := range n.Concurrencies {
+								cells = append(cells, GridCell{
+									Index:         len(cells),
+									NetIndex:      netIdx,
+									TransferSize:  size,
+									RTT:           rtt,
+									Buffer:        buf,
+									CC:            cc,
+									CrossFraction: cross,
+									Concurrency:   conc,
+									ParallelFlows: p,
+								})
+							}
+						}
+						netIdx++
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// netSeedStride separates the seed ranges of distinct network points, so
+// every cell of the grid gets an independent loss-randomization seed.
+// NetIndex 0 reduces to the Table 2 sweep's seed formula exactly, which
+// is what keeps AxesFromSweep grids bit-identical to RunSweep.
+const netSeedStride = 1_000_003
+
+// experiment lowers one cell to a runnable Experiment with its
+// deterministic per-cell seed.
+func (a Axes) experiment(c GridCell) Experiment {
+	net := a.Net
+	net.BaseRTT = c.RTT
+	net.Buffer = c.Buffer
+	net.CC = c.CC
+	net.Cross.Fraction = c.CrossFraction
+	net.Seed = a.Net.Seed + int64(c.Concurrency*100+c.ParallelFlows) + int64(c.NetIndex)*netSeedStride
+	return Experiment{
+		Duration:      a.Duration,
+		Concurrency:   c.Concurrency,
+		ParallelFlows: c.ParallelFlows,
+		TransferSize:  c.TransferSize,
+		Strategy:      a.Strategy,
+		Net:           net,
+	}
+}
+
+// Fingerprint returns a canonical key covering every Axes field that
+// affects grid output, in the same spirit as SweepConfig.Fingerprint.
+// The "grid;" prefix keeps the two keyspaces disjoint, so sweep and grid
+// entries never collide in a shared disk cache directory.
+func (a Axes) Fingerprint() string {
+	n := a.normalized()
+	var b strings.Builder
+	b.Grow(512)
+	f := func(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+	fmt.Fprintf(&b, "grid;dur=%d;conc=", int64(n.Duration))
+	for i, c := range n.Concurrencies {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(c))
+	}
+	b.WriteString(";pflows=")
+	for i, p := range n.ParallelFlows {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(p))
+	}
+	b.WriteString(";sizes=")
+	for i, s := range n.TransferSizes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(f(float64(s)))
+	}
+	b.WriteString(";rtts=")
+	for i, r := range n.RTTs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatInt(int64(r), 10))
+	}
+	b.WriteString(";bufs=")
+	for i, q := range n.Buffers {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(f(float64(q)))
+	}
+	b.WriteString(";ccs=")
+	for i, cc := range n.CCs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(int(cc)))
+	}
+	b.WriteString(";crosses=")
+	for i, x := range n.CrossFractions {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(f(x))
+	}
+	net := n.Net
+	fmt.Fprintf(&b, ";strat=%d;keep=%t", int(n.Strategy), n.KeepClientResults)
+	fmt.Fprintf(&b, ";cap=%s;mss=%s;icw=%d;rto=%d;seed=%d;maxt=%s;rq=%t",
+		f(float64(net.Capacity)), f(float64(net.MSS)),
+		net.InitCwndSegments, int64(net.RTO), net.Seed, f(net.MaxTime), net.RecordQueue)
+	fmt.Fprintf(&b, ";xper=%d;xduty=%s;xjit=%t",
+		int64(net.Cross.Period), f(net.Cross.Duty), net.Cross.PhaseJitter)
+	return b.String()
+}
+
+// GridRow is one grid cell's outcome: the cell coordinate plus the same
+// measurements a Table 2 sweep row carries.
+type GridRow struct {
+	Cell GridCell
+	SweepRow
+}
+
+// GridResult is a completed scenario grid.
+type GridResult struct {
+	// Axes is the normalized grid description (network axes filled in).
+	Axes Axes
+	Rows []GridRow
+}
+
+// RunGrid executes every cell serially on one reused engine; rows come
+// back in Cells order. RunGridParallel is bit-identical on a pool.
+func RunGrid(a Axes) (*GridResult, error) { return RunGridParallel(a, 1) }
+
+// RunGridParallel executes the grid's cells across a worker pool with
+// one engine per worker. Every cell is seeded deterministically from its
+// coordinates, so the result is bit-identical for any worker count; rows
+// come back in Cells order. workers <= 0 selects GOMAXPROCS.
+func RunGridParallel(a Axes, workers int) (*GridResult, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	a = a.normalized()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cells := a.Cells()
+	rows := make([]GridRow, len(cells))
+	errs := make([]error, len(cells))
+	var wg sync.WaitGroup
+	work := make(chan GridCell)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One engine per worker: cells share its buffers, so the
+			// congestion loop allocates nothing after the first cell.
+			eng := tcpsim.NewEngine()
+			for c := range work {
+				row, err := runExperimentRow(a.experiment(c), a.KeepClientResults, eng)
+				rows[c.Index] = GridRow{Cell: c, SweepRow: row}
+				errs[c.Index] = err
+			}
+		}()
+	}
+	for _, c := range cells {
+		work <- c
+	}
+	close(work)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			c := cells[i]
+			return nil, fmt.Errorf("workload: grid cell %d (conc=%d P=%d size=%v rtt=%v buf=%v cc=%v cross=%g): %w",
+				c.Index, c.Concurrency, c.ParallelFlows, c.TransferSize, c.RTT, c.Buffer, c.CC, c.CrossFraction, err)
+		}
+	}
+	return &GridResult{Axes: a, Rows: rows}, nil
+}
+
+// runSweepViaGrid computes a Table 2 sweep through the grid executor —
+// the path RunSweepCached takes, so the figure pipeline and the CLIs all
+// exercise the grid API. Bit-identical to RunSweep/RunSweepParallel
+// (enforced by TestSweepDeterminism's cached driver).
+func runSweepViaGrid(cfg SweepConfig, workers int) (*SweepResult, error) {
+	if len(cfg.Concurrencies) == 0 || len(cfg.ParallelFlows) == 0 {
+		return nil, fmt.Errorf("workload: empty sweep axes")
+	}
+	g, err := RunGridParallel(AxesFromSweep(cfg), workers)
+	if err != nil {
+		return nil, err
+	}
+	out := &SweepResult{Config: cfg, Rows: make([]SweepRow, len(g.Rows))}
+	for i := range g.Rows {
+		out.Rows[i] = g.Rows[i].SweepRow
+	}
+	return out, nil
+}

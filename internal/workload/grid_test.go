@@ -1,0 +1,278 @@
+package workload
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/tcpsim"
+	"repro/internal/units"
+)
+
+// fastAxes is a small multi-axis grid for unit tests: 2 RTTs × 2 buffers
+// × 2 flow counts × 2 concurrencies = 16 cells of 1-second experiments.
+func fastAxes() Axes {
+	return Axes{
+		Duration:      1 * time.Second,
+		Concurrencies: []int{2, 6},
+		ParallelFlows: []int{2, 8},
+		TransferSizes: []units.ByteSize{0.5 * units.GB},
+		RTTs:          []time.Duration{8 * time.Millisecond, 32 * time.Millisecond},
+		Buffers:       []units.ByteSize{0, 2 * units.MB},
+		Strategy:      SpawnSimultaneous,
+		Net:           tcpsim.DefaultConfig(),
+	}
+}
+
+func TestAxesSizeAndCells(t *testing.T) {
+	a := fastAxes()
+	if got := a.NetPoints(); got != 4 {
+		t.Fatalf("NetPoints = %d, want 4", got)
+	}
+	if got := a.Size(); got != 16 {
+		t.Fatalf("Size = %d, want 16", got)
+	}
+	cells := a.Cells()
+	if len(cells) != 16 {
+		t.Fatalf("len(Cells) = %d, want 16", len(cells))
+	}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Fatalf("cell %d has Index %d", i, c.Index)
+		}
+	}
+	// Network axes are outermost: the first four cells share NetIndex 0
+	// (rtt=8ms, buffer=auto) and walk the Table 2 plane P-outer,
+	// conc-inner, matching sweep order.
+	want := []struct {
+		netIdx, p, conc int
+		rtt             time.Duration
+		buf             units.ByteSize
+	}{
+		{0, 2, 2, 8 * time.Millisecond, 0},
+		{0, 2, 6, 8 * time.Millisecond, 0},
+		{0, 8, 2, 8 * time.Millisecond, 0},
+		{0, 8, 6, 8 * time.Millisecond, 0},
+		{1, 2, 2, 8 * time.Millisecond, 2 * units.MB},
+	}
+	for i, w := range want {
+		c := cells[i]
+		if c.NetIndex != w.netIdx || c.ParallelFlows != w.p || c.Concurrency != w.conc ||
+			c.RTT != w.rtt || c.Buffer != w.buf {
+			t.Fatalf("cell %d = %+v, want %+v", i, c, w)
+		}
+	}
+	// Last cell: every axis at its final value.
+	last := cells[15]
+	if last.NetIndex != 3 || last.RTT != 32*time.Millisecond || last.Buffer != 2*units.MB ||
+		last.ParallelFlows != 8 || last.Concurrency != 6 {
+		t.Fatalf("last cell = %+v", last)
+	}
+}
+
+func TestAxesNormalizationFillsNetworkAxes(t *testing.T) {
+	a := Axes{
+		Duration:      time.Second,
+		Concurrencies: []int{1},
+		ParallelFlows: []int{2},
+		TransferSizes: []units.ByteSize{units.MB},
+		Net:           tcpsim.DefaultConfig(),
+	}
+	n := a.normalized()
+	if len(n.RTTs) != 1 || n.RTTs[0] != a.Net.BaseRTT {
+		t.Errorf("RTTs = %v", n.RTTs)
+	}
+	if len(n.Buffers) != 1 || n.Buffers[0] != a.Net.Buffer {
+		t.Errorf("Buffers = %v", n.Buffers)
+	}
+	if len(n.CCs) != 1 || n.CCs[0] != a.Net.CC {
+		t.Errorf("CCs = %v", n.CCs)
+	}
+	if len(n.CrossFractions) != 1 || n.CrossFractions[0] != a.Net.Cross.Fraction {
+		t.Errorf("CrossFractions = %v", n.CrossFractions)
+	}
+	if a.Size() != 1 {
+		t.Errorf("Size = %d, want 1", a.Size())
+	}
+	// Explicit singleton axes fingerprint identically to implied ones.
+	explicit := a
+	explicit.RTTs = []time.Duration{a.Net.BaseRTT}
+	explicit.CCs = []tcpsim.CongestionControl{a.Net.CC}
+	if a.Fingerprint() != explicit.Fingerprint() {
+		t.Error("normalization changed the fingerprint")
+	}
+}
+
+func TestAxesValidate(t *testing.T) {
+	a := fastAxes()
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name   string
+		break_ func(*Axes)
+	}{
+		{"Concurrencies", func(a *Axes) { a.Concurrencies = nil }},
+		{"ParallelFlows", func(a *Axes) { a.ParallelFlows = nil }},
+		{"TransferSizes", func(a *Axes) { a.TransferSizes = nil }},
+	} {
+		bad := fastAxes()
+		tc.break_(&bad)
+		err := bad.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.name) {
+			t.Errorf("%s: err = %v", tc.name, err)
+		}
+		if _, err := RunGrid(bad); err == nil {
+			t.Errorf("%s: RunGrid accepted invalid axes", tc.name)
+		}
+	}
+}
+
+func TestAxesFingerprintDistinguishesAxes(t *testing.T) {
+	base := fastAxes()
+	if !strings.HasPrefix(base.Fingerprint(), "grid;") {
+		t.Fatalf("fingerprint %q lacks grid; prefix", base.Fingerprint())
+	}
+	seen := map[string]string{base.Fingerprint(): "base"}
+	for name, mutate := range map[string]func(*Axes){
+		"rtts":    func(a *Axes) { a.RTTs = []time.Duration{8 * time.Millisecond} },
+		"buffers": func(a *Axes) { a.Buffers = []units.ByteSize{units.MB} },
+		"ccs":     func(a *Axes) { a.CCs = []tcpsim.CongestionControl{tcpsim.Cubic} },
+		"crosses": func(a *Axes) { a.CrossFractions = []float64{0.2} },
+		"sizes":   func(a *Axes) { a.TransferSizes = []units.ByteSize{units.GB} },
+		"conc":    func(a *Axes) { a.Concurrencies = []int{1} },
+		"flows":   func(a *Axes) { a.ParallelFlows = []int{4} },
+		"seed":    func(a *Axes) { a.Net.Seed = 99 },
+		"strat":   func(a *Axes) { a.Strategy = SpawnScheduled },
+		"keep":    func(a *Axes) { a.KeepClientResults = true },
+	} {
+		mod := fastAxes()
+		mutate(&mod)
+		fp := mod.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s collides with %s: %q", name, prev, fp)
+		}
+		seen[fp] = name
+	}
+}
+
+// TestGridMatchesSweep holds the two executors together: lowering a
+// Table 2 sweep onto the grid must produce bit-identical rows (same
+// cells, same order, same per-cell seeds).
+func TestGridMatchesSweep(t *testing.T) {
+	cfg := fastSweep()
+	sweep, err := RunSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := RunGridParallel(AxesFromSweep(cfg), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid.Rows) != len(sweep.Rows) {
+		t.Fatalf("grid has %d rows, sweep %d", len(grid.Rows), len(sweep.Rows))
+	}
+	stripped := make([]SweepRow, len(grid.Rows))
+	for i := range grid.Rows {
+		if grid.Rows[i].Cell.NetIndex != 0 {
+			t.Fatalf("row %d: NetIndex %d on a single-point grid", i, grid.Rows[i].Cell.NetIndex)
+		}
+		stripped[i] = grid.Rows[i].SweepRow
+	}
+	want, err := json.Marshal(sweep.Rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(stripped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Error("grid rows not byte-identical to sweep rows")
+	}
+}
+
+// TestGridDeterminism extends the bit-identity contract to multi-axis
+// grids: serial, parallel at several widths, and cached execution all
+// produce byte-identical rows.
+func TestGridDeterminism(t *testing.T) {
+	a := fastAxes()
+	encode := func(rows []GridRow) string {
+		b, err := json.Marshal(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	baseline, err := RunGrid(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := encode(baseline.Rows)
+
+	for _, workers := range []int{2, 4, 0} {
+		g, err := RunGridParallel(a, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if encode(g.Rows) != want {
+			t.Errorf("workers=%d: rows not byte-identical to serial RunGrid", workers)
+		}
+	}
+	cached, err := NewGridCache().Get(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if encode(cached.Rows) != want {
+		t.Error("cached grid rows not byte-identical to serial RunGrid")
+	}
+}
+
+// TestGridSeedsVaryAcrossNetPoints guards the per-cell seed derivation:
+// cells at different network points must not reuse loss-randomization
+// seeds, and cells at NetIndex 0 must keep the sweep's formula.
+func TestGridSeedsVaryAcrossNetPoints(t *testing.T) {
+	a := fastAxes()
+	seeds := make(map[int64]GridCell)
+	for _, c := range a.Cells() {
+		e := a.experiment(c)
+		if prev, dup := seeds[e.Net.Seed]; dup {
+			t.Fatalf("cells %+v and %+v share seed %d", prev, c, e.Net.Seed)
+		}
+		seeds[e.Net.Seed] = c
+		if c.NetIndex == 0 {
+			want := a.Net.Seed + int64(c.Concurrency*100+c.ParallelFlows)
+			if e.Net.Seed != want {
+				t.Fatalf("NetIndex 0 seed = %d, want sweep formula %d", e.Net.Seed, want)
+			}
+		}
+		if e.Net.BaseRTT != c.RTT || e.Net.Buffer != c.Buffer || e.Net.CC != c.CC ||
+			e.Net.Cross.Fraction != c.CrossFraction {
+			t.Fatalf("experiment net %+v does not match cell %+v", e.Net, c)
+		}
+	}
+}
+
+// TestGridCellsVary sanity-checks that the axes actually change the
+// dynamics: worst-case FCT must differ across RTTs and buffers.
+func TestGridCellsVary(t *testing.T) {
+	a := fastAxes()
+	g, err := RunGridParallel(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worstByNet := make(map[int]time.Duration)
+	for _, row := range g.Rows {
+		if row.Cell.Concurrency == 6 && row.Cell.ParallelFlows == 8 {
+			worstByNet[row.Cell.NetIndex] = row.Worst
+		}
+	}
+	distinct := make(map[time.Duration]bool)
+	for _, w := range worstByNet {
+		distinct[w] = true
+	}
+	if len(distinct) < 2 {
+		t.Errorf("worst FCT identical across all %d network points: %v", len(worstByNet), worstByNet)
+	}
+}

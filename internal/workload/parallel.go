@@ -80,8 +80,16 @@ func runCell(cfg SweepConfig, conc, p int, eng *tcpsim.Engine) (SweepRow, error)
 		Net:           cfg.Net,
 	}
 	// Vary the seed per cell so loss randomization differs across
-	// experiments, as separate testbed runs would.
+	// experiments, as separate testbed runs would. The grid executor
+	// extends this formula with a per-network-point stride (grid.go).
 	e.Net.Seed = cfg.Net.Seed + int64(conc*100+p)
+	return runExperimentRow(e, cfg.KeepClientResults, eng)
+}
+
+// runExperimentRow executes one experiment and condenses it into a
+// SweepRow; shared by the sweep and grid executors so every driver
+// produces identical rows for identical experiments.
+func runExperimentRow(e Experiment, keep bool, eng *tcpsim.Engine) (SweepRow, error) {
 	res, err := RunWithEngine(e, eng)
 	if err != nil {
 		return SweepRow{}, err
@@ -96,8 +104,8 @@ func runCell(cfg SweepConfig, conc, p int, eng *tcpsim.Engine) (SweepRow, error)
 	p90, _ := durations.Quantile(0.90)
 	p99, _ := durations.Quantile(0.99)
 	row := SweepRow{
-		Concurrency:   conc,
-		ParallelFlows: p,
+		Concurrency:   e.Concurrency,
+		ParallelFlows: e.ParallelFlows,
 		OfferedLoad:   e.OfferedLoad(),
 		Utilization:   res.MeanUtilization,
 		Worst:         res.WorstFCT,
@@ -107,7 +115,7 @@ func runCell(cfg SweepConfig, conc, p int, eng *tcpsim.Engine) (SweepRow, error)
 		SSS:           res.SSS,
 		TransferTimes: times,
 	}
-	if cfg.KeepClientResults {
+	if keep {
 		row.Result = res
 	}
 	return row, nil

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -149,6 +150,15 @@ func Run(e Experiment) (*Result, error) {
 	return RunWithEngine(e, tcpsim.NewEngine())
 }
 
+// engineRuns counts experiment executions process-wide; see
+// EngineRunCount.
+var engineRuns atomic.Int64
+
+// EngineRunCount reports how many experiments have executed on a
+// simulation engine since process start. Cache tests use the delta to
+// prove warm paths (in-memory or disk) run zero simulations.
+func EngineRunCount() int64 { return engineRuns.Load() }
+
 // RunWithEngine executes the experiment on a caller-owned simulation
 // engine, so sweep drivers amortize the engine's buffers across many
 // cells (zero steady-state allocations in the congestion loop). Results
@@ -157,6 +167,7 @@ func RunWithEngine(e Experiment, eng *tcpsim.Engine) (*Result, error) {
 	if err := e.Validate(); err != nil {
 		return nil, err
 	}
+	engineRuns.Add(1)
 	switch e.Strategy {
 	case SpawnSimultaneous:
 		return runSimultaneous(e, eng)

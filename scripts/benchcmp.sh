@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# benchcmp.sh — the CI bench-regression gate: recompute the quick
+# benchmark scenarios and fail if any deterministic metric (sss, worst_s
+# — simulation outputs, bit-stable across machines) drifts from the
+# tracked BENCH_sweep.json. Timings are never compared, so the gate is
+# immune to runner noise. Override the relative tolerance with TOL.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Hermetic sweep cache: never read a stale developer cache.
+CACHE_DIR=$(mktemp -d /tmp/repro-benchcmp-cache.XXXXXX)
+export CACHE_DIR
+tmp=$(mktemp -d /tmp/repro-benchcmp.XXXXXX)
+trap 'rm -rf "$tmp" "$CACHE_DIR"' EXIT
+
+go run ./cmd/benchjson -quick -o "$tmp/BENCH_new.json" \
+    -compare BENCH_sweep.json -tol "${TOL:-1e-9}"
