@@ -24,6 +24,15 @@
 // else ~/.cache/repro/sweeps), so a repeated invocation recomputes
 // nothing; pass `-cache-dir off` to disable persistence.
 //
+// With -portfolio, grid mode replaces the single break-even model with a
+// portfolio summary: every scenario of the JSON portfolio (the
+// streamdecide -config schema) is decided at every cell, and the report
+// aggregates per-scenario stream/store/infeasible counts, the portfolio
+// stream fraction, and each scenario's break-even frontier:
+//
+//	ssslab -grid -portfolio examples/portfolio/portfolio.json \
+//	       [-rtts 8ms,64ms] [-crosses 0,0.3] [-csv rows.csv]
+//
 // Live mode uses small transfers by default (loopback is not a 25 Gbps
 // WAN); pass -size explicitly to push harder.
 package main
@@ -63,6 +72,8 @@ func run(args []string, out io.Writer) error {
 	cacheDir := fs.String("cache-dir", "",
 		"sweep disk cache directory (default $CACHE_DIR, else ~/.cache/repro/sweeps; \"off\" disables)")
 	grid := fs.Bool("grid", false, "sweep a multi-axis scenario grid (sim mode only)")
+	portfolioPath := fs.String("portfolio", "",
+		"grid mode: summarize this JSON portfolio's decisions at every cell (requires -grid)")
 	axisFlags := scenario.AxisFlags{}
 	axisFlags.Register(fs)
 	complexity := fs.Float64("complexity", 17e12, "break-even model: complexity C in FLOP per GB")
@@ -107,13 +118,19 @@ func run(args []string, out io.Writer) error {
 			if err != nil {
 				return err
 			}
+			if *portfolioPath != "" {
+				return runPortfolioSim(out, axes, *portfolioPath, *csvPath)
+			}
 			return runGridSim(out, axes, *complexity, *localStr, *remoteStr, *theta, *csvPath)
+		}
+		if *portfolioPath != "" {
+			return fmt.Errorf("-portfolio requires -grid (the portfolio is decided at every grid cell)")
 		}
 		return runSingleSim(out, base, *csvPath)
 
 	case "live":
-		if *grid {
-			return fmt.Errorf("-grid is sim-mode only (live loopback has no scenario axes)")
+		if *grid || *portfolioPath != "" {
+			return fmt.Errorf("-grid/-portfolio are sim-mode only (live loopback has no scenario axes)")
 		}
 		size := 8 * units.MB
 		if *sizeStr != "" {
@@ -212,6 +229,62 @@ func runSingleSim(out io.Writer, axes workload.Axes, csvPath string) error {
 		}
 		defer f.Close()
 		return row.Result.TraceLog().WriteCSV(f)
+	}
+	return nil
+}
+
+// runPortfolioSim sweeps the scenario grid (cached, like every sim
+// path) and summarizes a whole portfolio's decisions over it: per-cell
+// stream fraction, per-scenario stream/store/infeasible counts, and each
+// scenario's break-even frontier. With -csv, the per-cell, per-scenario
+// decision rows are written in the portfolio CSV schema.
+func runPortfolioSim(out io.Writer, axes workload.Axes, portfolioPath, csvPath string) error {
+	pf, err := scenario.LoadPortfolioFile(portfolioPath)
+	if err != nil {
+		return err
+	}
+	g, err := workload.RunGridCached(axes, 0)
+	if err != nil {
+		return err
+	}
+	pg, err := scenario.DecidePortfolio(pf, g)
+	if err != nil {
+		return err
+	}
+	a := g.Axes
+	fmt.Fprintf(out, "portfolio: %s (%d scenarios) over grid: %s (%s, %v bottleneck)\n\n",
+		pf.Name, len(pf.Workloads), scenario.GridHeader(a), a.Strategy, a.Net.Capacity)
+
+	t := &plot.Table{Header: []string{"Scenario", "Remote", "Local", "Infeasible"}}
+	for i, w := range pf.Workloads {
+		counts := pg.ChoiceCounts(i)
+		t.AddRow(w.Name,
+			fmt.Sprintf("%d", counts[core.ChooseRemote]),
+			fmt.Sprintf("%d", counts[core.ChooseLocal]),
+			fmt.Sprintf("%d", counts[core.ChooseInfeasible]))
+	}
+	fmt.Fprint(out, t.String())
+
+	var sum float64
+	full := 0
+	for _, c := range pg.Cells {
+		fr := c.StreamFraction()
+		sum += fr
+		if fr == 1 {
+			full++
+		}
+	}
+	fmt.Fprintf(out, "mean stream fraction: %.0f%% (%d/%d cells fully streaming)\n",
+		sum/float64(len(pg.Cells))*100, full, len(pg.Cells))
+	fmt.Fprint(out, scenario.RenderFrontiers(pg))
+
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return pg.WriteCSV(f)
 	}
 	return nil
 }

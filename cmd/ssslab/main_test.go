@@ -178,6 +178,80 @@ func TestGridCSV(t *testing.T) {
 	}
 }
 
+// examplePortfolio is the runnable portfolio shipped with the repo.
+const examplePortfolio = "../../examples/portfolio/portfolio.json"
+
+// portfolioArgs sweeps RTT × concurrency and summarizes the example
+// portfolio over the grid.
+func portfolioArgs(cacheDir string) []string {
+	return []string{"-grid", "-seconds", "1", "-portfolio", examplePortfolio,
+		"-rtts", "8ms,64ms", "-concs", "2,6", "-cache-dir", cacheDir}
+}
+
+func TestPortfolioSummaryMode(t *testing.T) {
+	var out strings.Builder
+	if err := run(portfolioArgs("off"), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"portfolio: portfolio (4 scenarios)",
+		"Scenario", "Remote", "Local", "Infeasible",
+		"XPCS", "TomoBank", "CryoML", "HLT",
+		"mean stream fraction:",
+		"per-scenario break-even frontiers:",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestPortfolioWarmDiskCache: warm portfolio summaries are pure
+// post-processing of the cached grid — zero engine runs, identical text.
+func TestPortfolioWarmDiskCache(t *testing.T) {
+	dir := t.TempDir()
+
+	workload.PurgeSweepCache()
+	workload.PurgeGridCache()
+	var cold strings.Builder
+	if err := run(portfolioArgs(dir), &cold); err != nil {
+		t.Fatal(err)
+	}
+	workload.PurgeSweepCache()
+	workload.PurgeGridCache()
+
+	before := workload.EngineRunCount()
+	var warm strings.Builder
+	if err := run(portfolioArgs(dir), &warm); err != nil {
+		t.Fatal(err)
+	}
+	if runs := workload.EngineRunCount() - before; runs != 0 {
+		t.Errorf("warm portfolio invocation ran %d experiments, want 0", runs)
+	}
+	if warm.String() != cold.String() {
+		t.Errorf("warm output differs:\ncold:\n%s\nwarm:\n%s", cold.String(), warm.String())
+	}
+}
+
+func TestPortfolioCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "portfolio.csv")
+	var out strings.Builder
+	if err := run(append(portfolioArgs("off"), "-csv", path), &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"scenario", "decision", "XPCS"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("portfolio csv missing %q:\n%s", want, data)
+		}
+	}
+}
+
 func TestLiveMode(t *testing.T) {
 	var out strings.Builder
 	err := run([]string{"-mode", "live", "-seconds", "1", "-concurrency", "2",
@@ -203,6 +277,9 @@ func TestBadArgs(t *testing.T) {
 		{"-grid", "-ccs", "bbr", "-cache-dir", "off"},
 		{"-grid", "-buffers", "big", "-cache-dir", "off"},
 		{"-grid", "-local", "banana", "-cache-dir", "off"},
+		{"-portfolio", examplePortfolio, "-cache-dir", "off"},
+		{"-mode", "live", "-portfolio", examplePortfolio},
+		{"-grid", "-portfolio", "missing.json", "-cache-dir", "off"},
 	}
 	for _, args := range cases {
 		var out strings.Builder

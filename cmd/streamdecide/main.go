@@ -19,9 +19,18 @@
 //	             [-buffers auto,2MB] [-ccs reno,cubic] [-crosses 0,0.3]
 //	             [-cache-dir DIR|off]
 //
+// Portfolio-over-grid mode decides a whole JSON portfolio (the -config
+// schema) at every grid cell and reports, per cell, each scenario's
+// decision plus the fraction of the portfolio that should stream, and,
+// per scenario, the break-even frontier where its decision flips:
+//
+//	streamdecide -portfolio examples/portfolio/portfolio.json -grid \
+//	             [-rtts 8ms,64ms] [-crosses 0,0.3] [...axis flags...]
+//	             [-csv out.csv] [-json out.json]
+//
 // Grid sweeps are cached on disk under -cache-dir (default $CACHE_DIR,
 // else ~/.cache/repro/sweeps), so a repeated invocation recomputes
-// nothing.
+// nothing — warm portfolio runs perform zero simulations.
 package main
 
 import (
@@ -61,6 +70,9 @@ func run(args []string, out io.Writer) error {
 	sweep := fs.String("sensitivity", "", "plot T_pct sensitivity: theta, alpha, or r")
 	configPath := fs.String("config", "", "decide a JSON portfolio of workloads instead of flags")
 	grid := fs.Bool("grid", false, "decide across a measured multi-axis scenario grid")
+	portfolioPath := fs.String("portfolio", "", "decide this JSON portfolio at every grid cell (requires -grid)")
+	csvPath := fs.String("csv", "", "portfolio grid mode: write per-cell, per-scenario decisions as CSV")
+	jsonPath := fs.String("json", "", "portfolio grid mode: archive the portfolio grid as versioned JSON")
 	gseconds := fs.Int("gseconds", 3, "grid: congestion experiment duration in seconds")
 	axisFlags := scenario.AxisFlags{}
 	axisFlags.Register(fs)
@@ -74,6 +86,15 @@ func run(args []string, out io.Writer) error {
 	}
 	if *grid && *sweep != "" {
 		return fmt.Errorf("-sensitivity is incompatible with -grid (the grid itself is the sensitivity sweep)")
+	}
+	if *portfolioPath != "" && !*grid {
+		return fmt.Errorf("-portfolio requires -grid (use -config to decide a portfolio at its own flag-supplied rates)")
+	}
+	if *portfolioPath != "" && *configPath != "" {
+		return fmt.Errorf("-portfolio and -config are mutually exclusive")
+	}
+	if (*csvPath != "" || *jsonPath != "") && *portfolioPath == "" {
+		return fmt.Errorf("-csv/-json output is portfolio grid mode only (pass -portfolio)")
 	}
 
 	if *configPath != "" {
@@ -167,6 +188,31 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		a := g.Axes
+		if *portfolioPath != "" {
+			pf, err := scenario.LoadPortfolioFile(*portfolioPath)
+			if err != nil {
+				return err
+			}
+			pg, err := scenario.DecidePortfolio(pf, g)
+			if err != nil {
+				return err
+			}
+			// RenderPortfolio prints the grid dimensions itself; only the
+			// link note is unique to the CLI preamble.
+			fmt.Fprintf(out, "link: %v bottleneck; R_transfer measured per cell\n\n", a.Net.Capacity)
+			fmt.Fprint(out, scenario.RenderPortfolio(pg))
+			if *csvPath != "" {
+				if err := writeFile(*csvPath, pg.WriteCSV); err != nil {
+					return err
+				}
+			}
+			if *jsonPath != "" {
+				if err := writeFile(*jsonPath, pg.WriteJSON); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
 		fmt.Fprintf(out, "grid: %s (%v bottleneck)\n", scenario.GridHeader(a), a.Net.Capacity)
 		fmt.Fprintf(out, "model: C=%.3g FLOP/GB, local %v, remote %v, theta %.2f; R_transfer measured per cell\n\n",
 			*complexity, local, remote, *theta)
@@ -225,6 +271,16 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// writeFile creates path and streams write into it.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return write(f)
 }
 
 // printSensitivity renders an ASCII chart of T_pct across one model

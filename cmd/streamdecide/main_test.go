@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/scenario"
 	"repro/internal/workload"
 )
 
@@ -185,6 +186,106 @@ func TestGridWarmDiskCache(t *testing.T) {
 	}
 	if warm.String() != cold.String() {
 		t.Errorf("warm output differs:\ncold:\n%s\nwarm:\n%s", cold.String(), warm.String())
+	}
+}
+
+// examplePortfolio is the runnable portfolio shipped with the repo; the
+// CLI tests exercise the same file the README quickstart uses.
+const examplePortfolio = "../../examples/portfolio/portfolio.json"
+
+func TestPortfolioGridDecisions(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-portfolio", examplePortfolio, "-grid", "-gseconds", "1",
+		"-rtts", "8ms,64ms", "-crosses", "0,0.3", "-cache-dir", "off"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"portfolio: portfolio (4 scenarios)",
+		"XPCS", "TomoBank", "CryoML", "HLT",
+		"Stream",
+		"per-scenario break-even frontiers:",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestPortfolioGridWarmCache is the acceptance contract: a second
+// portfolio run against a warm disk cache performs zero engine runs and
+// produces byte-identical output.
+func TestPortfolioGridWarmCache(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-portfolio", examplePortfolio, "-grid", "-gseconds", "1",
+		"-rtts", "8ms,32ms", "-crosses", "0,0.3", "-cache-dir", dir}
+
+	workload.PurgeSweepCache()
+	workload.PurgeGridCache()
+	var cold strings.Builder
+	if err := run(args, &cold); err != nil {
+		t.Fatal(err)
+	}
+	workload.PurgeSweepCache()
+	workload.PurgeGridCache()
+
+	before := workload.EngineRunCount()
+	var warm strings.Builder
+	if err := run(args, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if runs := workload.EngineRunCount() - before; runs != 0 {
+		t.Errorf("warm portfolio invocation ran %d experiments, want 0", runs)
+	}
+	if warm.String() != cold.String() {
+		t.Errorf("warm output differs:\ncold:\n%s\nwarm:\n%s", cold.String(), warm.String())
+	}
+}
+
+func TestPortfolioGridArchives(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "portfolio.csv")
+	jsonPath := filepath.Join(dir, "portfolio.json")
+	var out strings.Builder
+	err := run([]string{"-portfolio", examplePortfolio, "-grid", "-gseconds", "1",
+		"-csv", csvPath, "-json", jsonPath, "-cache-dir", "off"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvData, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csvData), "cell,size,rtt,") {
+		t.Errorf("CSV header: %q", strings.SplitN(string(csvData), "\n", 2)[0])
+	}
+	jf, err := os.Open(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	rep, err := scenario.ReadPortfolioReport(jf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scenarios) != 4 || len(rep.Cells) != 1 {
+		t.Errorf("archived report shape: %d scenarios, %d cells", len(rep.Scenarios), len(rep.Cells))
+	}
+}
+
+func TestPortfolioFlagConflicts(t *testing.T) {
+	for _, args := range [][]string{
+		{"-portfolio", examplePortfolio},                             // requires -grid
+		{"-portfolio", examplePortfolio, "-grid", "-config", "x"},    // exclusive with -config
+		{"-csv", "out.csv"},                                          // archive flags are portfolio-only
+		{"-json", "out.json", "-grid"},                               // even with -grid
+		{"-portfolio", "missing.json", "-grid", "-cache-dir", "off"}, // unreadable file
+	} {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
 	}
 }
 

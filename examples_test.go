@@ -27,6 +27,7 @@ func TestExamplesRun(t *testing.T) {
 		{"variability", "streaming-pipeline view"},
 		{"monitoring", "regime=severe congestion"},
 		{"lhc-triggers", "CANNOT stream"},
+		{"portfolio", "mean stream fraction"},
 	}
 	root, err := os.Getwd()
 	if err != nil {

@@ -39,20 +39,15 @@ func DecideGrid(g *workload.GridResult, base core.Params, opts core.DecideOpts) 
 	if g == nil || len(g.Rows) == 0 {
 		return nil, fmt.Errorf("scenario: empty grid")
 	}
-	capRate := g.Axes.Net.Capacity.ByteRate()
 	out := make([]GridDecision, 0, len(g.Rows))
 	for _, row := range g.Rows {
-		worst := row.Worst.Seconds()
-		if worst <= 0 {
+		rate := row.EffectiveRate(g.Axes.Net.Capacity)
+		if rate <= 0 {
 			return nil, fmt.Errorf("scenario: grid cell %d has non-positive worst FCT", row.Cell.Index)
 		}
 		p := base
 		p.UnitSize = row.Cell.TransferSize
 		p.Bandwidth = g.Axes.Net.Capacity
-		rate := units.ByteRate(row.Cell.TransferSize.Bytes() / worst)
-		if rate > capRate {
-			rate = capRate
-		}
 		p.TransferRate = rate
 		d, err := core.Decide(p, opts)
 		if err != nil {

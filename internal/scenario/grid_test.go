@@ -32,7 +32,12 @@ func syntheticGrid(worsts map[int]time.Duration) *workload.GridResult {
 		ParallelFlows: []int{8},
 		TransferSizes: []units.ByteSize{2 * units.GB},
 		RTTs:          []time.Duration{16 * time.Millisecond, 64 * time.Millisecond},
-		Net:           tcpsim.DefaultConfig(),
+		// Singleton network axes, spelled out so the synthetic Axes is
+		// normalized exactly like a grid-executor result would be.
+		Buffers:        []units.ByteSize{0},
+		CCs:            []tcpsim.CongestionControl{tcpsim.Reno},
+		CrossFractions: []float64{0},
+		Net:            tcpsim.DefaultConfig(),
 	}
 	g := &workload.GridResult{Axes: axes}
 	for _, c := range axes.Cells() {
@@ -104,6 +109,62 @@ func TestDecideGridUniform(t *testing.T) {
 	}
 	if out := RenderGrid(ds); !strings.Contains(out, "break-even flips: none") {
 		t.Errorf("render missing uniform note:\n%s", out)
+	}
+}
+
+// TestFlipsSingleCell covers the degenerate grid: one cell has no
+// adjacent pair on any axis, so there is nothing to flip.
+func TestFlipsSingleCell(t *testing.T) {
+	axes := workload.Axes{
+		Duration:      10 * time.Second,
+		Concurrencies: []int{4},
+		ParallelFlows: []int{8},
+		TransferSizes: []units.ByteSize{2 * units.GB},
+		Net:           tcpsim.DefaultConfig(),
+	}
+	g := &workload.GridResult{Axes: axes}
+	for _, c := range axes.Cells() {
+		g.Rows = append(g.Rows, workload.GridRow{
+			Cell:     c,
+			SweepRow: workload.SweepRow{Concurrency: c.Concurrency, ParallelFlows: c.ParallelFlows, Worst: time.Second},
+		})
+	}
+	if len(g.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(g.Rows))
+	}
+	ds, err := DecideGrid(g, decisionParams(), core.DecideOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flips := Flips(ds); len(flips) != 0 {
+		t.Errorf("single-cell grid produced flips: %v", flips)
+	}
+	if out := FlipReport(ds, ""); !strings.Contains(out, "none") {
+		t.Errorf("flip report missing uniform note: %s", out)
+	}
+	// Flips of an empty decision set is also a no-op, not a panic.
+	if flips := Flips(nil); len(flips) != 0 {
+		t.Errorf("nil decisions produced flips: %v", flips)
+	}
+}
+
+// TestFlipsNoFlipAxis pins the per-axis behavior: when the decision
+// varies along exactly one axis, no other axis reports a boundary.
+func TestFlipsNoFlipAxis(t *testing.T) {
+	// Worst FCT varies along RTT only (cells 0,1 fast; 2,3 slow), so the
+	// concurrency axis — the other populated axis — must stay flip-free.
+	g := syntheticGrid(map[int]time.Duration{
+		0: 1 * time.Second, 1: 1 * time.Second,
+		2: 10 * time.Second, 3: 10 * time.Second,
+	})
+	ds, err := DecideGrid(g, decisionParams(), core.DecideOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range Flips(ds) {
+		if f.Axis != "rtt" {
+			t.Errorf("unexpected flip on axis %q: %v", f.Axis, f)
+		}
 	}
 }
 

@@ -1,0 +1,337 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tcpsim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// testPortfolio mixes a compute-hungry workload that flips with the
+// measured rate (remote above ~310 MB/s effective) and a light one the
+// link can never justify streaming (remote would need ~11 GB/s).
+func testPortfolio() *Portfolio {
+	return &Portfolio{Name: "golden", Workloads: []Workload{
+		{Name: "hungry", UnitSize: "2GB", ComplexityFLOPPerGB: 17e12,
+			Local: "5TF", Remote: "100TF", Bandwidth: "25Gbps", TransferRate: "2GB/s"},
+		{Name: "light", UnitSize: "1GB", ComplexityFLOPPerGB: 2e12,
+			Local: "20TF", Remote: "200TF", Bandwidth: "25Gbps", TransferRate: "2GB/s"},
+	}}
+}
+
+func TestDecidePortfolioSynthetic(t *testing.T) {
+	// Fast cells (1 s for 2 GB = 2 GB/s effective) stream the hungry
+	// workload; slow cells (10 s = 200 MB/s) stage it. The light workload
+	// is local everywhere.
+	g := syntheticGrid(map[int]time.Duration{
+		0: 1 * time.Second, 1: 1 * time.Second,
+		2: 10 * time.Second, 3: 10 * time.Second,
+	})
+	pg, err := DecidePortfolio(testPortfolio(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pg.Cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(pg.Cells))
+	}
+	wantHungry := []core.Choice{core.ChooseRemote, core.ChooseRemote, core.ChooseLocal, core.ChooseLocal}
+	wantFrac := []float64{0.5, 0.5, 0, 0}
+	for i, c := range pg.Cells {
+		if got := c.Decisions[0].Decision.Choice; got != wantHungry[i] {
+			t.Errorf("cell %d hungry: %v, want %v", i, got, wantHungry[i])
+		}
+		if got := c.Decisions[1].Decision.Choice; got != core.ChooseLocal {
+			t.Errorf("cell %d light: %v, want local", i, got)
+		}
+		if got := c.StreamFraction(); got != wantFrac[i] {
+			t.Errorf("cell %d stream fraction = %g, want %g", i, got, wantFrac[i])
+		}
+		// The scenario keeps its own unit size; the cell supplies the rate.
+		if got := c.Decisions[0].Params.UnitSize; got != 2*units.GB {
+			t.Errorf("cell %d hungry unit size = %v, want 2 GB", i, got)
+		}
+		if got := c.Decisions[1].Params.UnitSize; got != 1*units.GB {
+			t.Errorf("cell %d light unit size = %v, want 1 GB", i, got)
+		}
+		if c.Decisions[0].Params.TransferRate != c.Rate || c.Decisions[1].Params.TransferRate != c.Rate {
+			t.Errorf("cell %d: scenario rates differ from cell rate %v", i, c.Rate)
+		}
+	}
+
+	frontiers := pg.Frontiers()
+	if len(frontiers) != 2 {
+		t.Fatalf("frontiers = %d, want 2", len(frontiers))
+	}
+	if got := len(frontiers[0].Flips); got != 2 {
+		t.Errorf("hungry flips = %d, want 2 (one per concurrency, along rtt)", got)
+	}
+	for _, f := range frontiers[0].Flips {
+		if f.Axis != "rtt" {
+			t.Errorf("hungry flip axis = %q, want rtt", f.Axis)
+		}
+	}
+	if got := len(frontiers[1].Flips); got != 0 {
+		t.Errorf("light flips = %d, want 0", got)
+	}
+
+	counts := pg.ChoiceCounts(0)
+	if counts[core.ChooseRemote] != 2 || counts[core.ChooseLocal] != 2 {
+		t.Errorf("hungry counts = %v", counts)
+	}
+}
+
+// TestRenderPortfolioGolden pins the rendered portfolio grid byte for
+// byte: the table layout, decision columns, stream fractions, and the
+// per-scenario frontier block are all part of the CLI contract.
+func TestRenderPortfolioGolden(t *testing.T) {
+	g := syntheticGrid(map[int]time.Duration{
+		0: 1 * time.Second, 1: 1 * time.Second,
+		2: 10 * time.Second, 3: 10 * time.Second,
+	})
+	pg, err := DecidePortfolio(testPortfolio(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `portfolio: golden (2 scenarios) over 4 cells = 1 sizes x 2 RTTs x 1 buffers x 1 CCs x 1 cross x 1 flows x 2 conc
+Size    | RTT  | Buffer | CC   | Cross | Conc | P | Worst | R_eff       | hungry | light | Stream
+--------+------+--------+------+-------+------+---+-------+-------------+--------+-------+-------
+2.00 GB | 16ms | auto   | reno | 0     | 4    | 8 | 1s    | 2.00 GB/s   | remote | local | 50%
+2.00 GB | 16ms | auto   | reno | 0     | 8    | 8 | 1s    | 2.00 GB/s   | remote | local | 50%
+2.00 GB | 64ms | auto   | reno | 0     | 4    | 8 | 10s   | 200.00 MB/s | local  | local | 0%
+2.00 GB | 64ms | auto   | reno | 0     | 8    | 8 | 10s   | 200.00 MB/s | local  | local | 0%
+per-scenario break-even frontiers:
+  hungry (2):
+    rtt 16ms -> 64ms: remote -> local (size=2.00 GB buffer=auto cc=reno cross=0 flows=8 conc=4)
+    rtt 16ms -> 64ms: remote -> local (size=2.00 GB buffer=auto cc=reno cross=0 flows=8 conc=8)
+  light: none (decision uniform across the grid)
+`
+	// plot.Table pads every cell to column width; trailing blanks carry
+	// no information, so the golden is compared with line ends trimmed.
+	if got := trimLineEnds(RenderPortfolio(pg)); got != golden {
+		t.Errorf("rendered portfolio grid drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+}
+
+// trimLineEnds strips trailing spaces from every line.
+func trimLineEnds(s string) string {
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		lines[i] = strings.TrimRight(l, " ")
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestPortfolioAllStream covers the uniform-portfolio edge: every
+// scenario streams in every cell, so fractions are 1 and no scenario has
+// a frontier.
+func TestPortfolioAllStream(t *testing.T) {
+	g := syntheticGrid(map[int]time.Duration{
+		0: 1 * time.Second, 1: 1 * time.Second,
+		2: 1 * time.Second, 3: 1 * time.Second,
+	})
+	pf := &Portfolio{Name: "all-stream", Workloads: []Workload{
+		testPortfolio().Workloads[0],
+		{Name: "heavier", UnitSize: "1GB", ComplexityFLOPPerGB: 50e12,
+			Local: "2TF", Remote: "100TF", Bandwidth: "25Gbps", TransferRate: "2GB/s"},
+	}}
+	pg, err := DecidePortfolio(pf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range pg.Cells {
+		if c.StreamFraction() != 1 {
+			t.Errorf("cell %d stream fraction = %g, want 1", i, c.StreamFraction())
+		}
+	}
+	for _, fr := range pg.Frontiers() {
+		if len(fr.Flips) != 0 {
+			t.Errorf("%s: all-stream portfolio produced flips: %v", fr.Scenario, fr.Flips)
+		}
+	}
+	if out := RenderPortfolio(pg); !strings.Contains(out, "100%") {
+		t.Errorf("render missing full stream fraction:\n%s", out)
+	}
+}
+
+func TestDecidePortfolioErrors(t *testing.T) {
+	g := syntheticGrid(map[int]time.Duration{0: time.Second, 1: time.Second, 2: time.Second, 3: time.Second})
+	if _, err := DecidePortfolio(nil, g); err == nil {
+		t.Error("nil portfolio accepted")
+	}
+	if _, err := DecidePortfolio(&Portfolio{Name: "empty"}, g); err == nil {
+		t.Error("empty portfolio accepted")
+	}
+	if _, err := DecidePortfolio(testPortfolio(), nil); err == nil {
+		t.Error("nil grid accepted")
+	}
+	if _, err := DecidePortfolio(testPortfolio(), &workload.GridResult{}); err == nil {
+		t.Error("empty grid accepted")
+	}
+	bad := &Portfolio{Name: "bad", Workloads: []Workload{{Name: "x", UnitSize: "banana"}}}
+	if _, err := DecidePortfolio(bad, g); err == nil {
+		t.Error("unparseable workload accepted")
+	}
+	// A zero worst-case FCT marks a defective grid row.
+	broken := syntheticGrid(map[int]time.Duration{0: time.Second, 1: time.Second, 2: time.Second})
+	if _, err := DecidePortfolio(testPortfolio(), broken); err == nil {
+		t.Error("grid with zero worst FCT accepted")
+	}
+}
+
+func TestLoadPortfolio(t *testing.T) {
+	doc := `{"workloads":[{"name":"XPCS","unit_size":"2GB","complexity_flop_per_gb":17e12,
+		"local":"5TF","remote":"100TF","bandwidth":"25Gbps","transfer_rate":"2GB/s"}]}`
+	pf, err := LoadPortfolio("mix", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.Name != "mix" || len(pf.Workloads) != 1 || pf.Workloads[0].Name != "XPCS" {
+		t.Errorf("portfolio = %+v", pf)
+	}
+	if pf, err := LoadPortfolio("", strings.NewReader(doc)); err != nil || pf.Name != "portfolio" {
+		t.Errorf("unnamed portfolio = %+v, %v", pf, err)
+	}
+	if _, err := LoadPortfolio("x", strings.NewReader("{")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if _, err := NewPortfolio("x", nil); err == nil {
+		t.Error("nil file accepted")
+	}
+}
+
+// TestPortfolioDeterminism is the portfolio arm of the bit-identity
+// contract: deciding the same portfolio over grids computed serially, in
+// parallel, through a fresh cache, and re-loaded from disk yields
+// byte-identical archives.
+func TestPortfolioDeterminism(t *testing.T) {
+	axes := workload.Axes{
+		Duration:      1 * time.Second,
+		Concurrencies: []int{2, 6},
+		ParallelFlows: []int{8},
+		TransferSizes: []units.ByteSize{0.5 * units.GB},
+		RTTs:          []time.Duration{8 * time.Millisecond, 32 * time.Millisecond},
+		Net:           tcpsim.DefaultConfig(),
+	}
+	pf := testPortfolio()
+	dir := t.TempDir()
+
+	archive := func(g *workload.GridResult) []byte {
+		t.Helper()
+		pg, err := DecidePortfolio(pf, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := pg.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+
+	serial, err := workload.RunGrid(axes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := archive(serial)
+
+	parallel, err := workload.RunGridParallel(axes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := archive(parallel); !bytes.Equal(got, want) {
+		t.Error("parallel grid archive differs from serial")
+	}
+
+	cache := workload.NewGridCache()
+	cache.SetDiskDir(dir)
+	cached, err := cache.Get(axes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := archive(cached); !bytes.Equal(got, want) {
+		t.Error("cached grid archive differs from serial")
+	}
+
+	// A fresh cache with the same disk dir must serve the stored grid.
+	reloaded := workload.NewGridCache()
+	reloaded.SetDiskDir(dir)
+	fromDisk, err := reloaded.Get(axes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := archive(fromDisk); !bytes.Equal(got, want) {
+		t.Error("disk-loaded grid archive differs from serial")
+	}
+}
+
+func TestPortfolioReportRoundTrip(t *testing.T) {
+	g := syntheticGrid(map[int]time.Duration{
+		0: 1 * time.Second, 1: 1 * time.Second,
+		2: 10 * time.Second, 3: 10 * time.Second,
+	})
+	pg, err := DecidePortfolio(testPortfolio(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := pg.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadPortfolioReport(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != PortfolioSchema || rep.Name != "golden" {
+		t.Errorf("report header = %q %q", rep.Schema, rep.Name)
+	}
+	if rep.Fingerprint != pg.Axes.Fingerprint() {
+		t.Errorf("fingerprint mismatch")
+	}
+	if len(rep.Cells) != 4 || len(rep.Scenarios) != 2 || len(rep.Frontiers) != 2 {
+		t.Errorf("report shape: %d cells, %d scenarios, %d frontiers", len(rep.Cells), len(rep.Scenarios), len(rep.Frontiers))
+	}
+	if rep.Cells[0].Decisions[0] != "remote" || rep.Cells[2].Decisions[0] != "local" {
+		t.Errorf("archived decisions = %v / %v", rep.Cells[0].Decisions, rep.Cells[2].Decisions)
+	}
+	if rep.Cells[0].StreamFraction != 0.5 {
+		t.Errorf("archived stream fraction = %g", rep.Cells[0].StreamFraction)
+	}
+
+	// Foreign or stale documents are rejected, like disk-cache envelopes.
+	if _, err := ReadPortfolioReport(strings.NewReader(`{"schema":"other/v9"}`)); err == nil {
+		t.Error("foreign schema accepted")
+	}
+	if _, err := ReadPortfolioReport(strings.NewReader("{")); err == nil {
+		t.Error("truncated report accepted")
+	}
+}
+
+func TestPortfolioCSV(t *testing.T) {
+	g := syntheticGrid(map[int]time.Duration{
+		0: 1 * time.Second, 1: 1 * time.Second,
+		2: 10 * time.Second, 3: 10 * time.Second,
+	})
+	pg, err := DecidePortfolio(testPortfolio(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := pg.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if want := 1 + 4*2; len(lines) != want {
+		t.Fatalf("CSV lines = %d, want %d:\n%s", len(lines), want, b.String())
+	}
+	if !strings.HasPrefix(lines[0], "cell,size,rtt,buffer,cc,cross,") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "hungry,remote") {
+		t.Errorf("first data row = %q", lines[1])
+	}
+}

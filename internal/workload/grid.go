@@ -275,6 +275,23 @@ type GridRow struct {
 	SweepRow
 }
 
+// EffectiveRate returns the cell's measured effective transfer rate:
+// the cell's transfer size over its worst-case FCT, capped at the link
+// capacity — the paper's conservative α, the rate a planner should
+// assume under that cell's congestion regime. It returns 0 when the row
+// carries no positive worst-case FCT (a defective or unpopulated row).
+func (r GridRow) EffectiveRate(capacity units.BitRate) units.ByteRate {
+	worst := r.Worst.Seconds()
+	if worst <= 0 {
+		return 0
+	}
+	rate := units.ByteRate(r.Cell.TransferSize.Bytes() / worst)
+	if capRate := capacity.ByteRate(); rate > capRate {
+		rate = capRate
+	}
+	return rate
+}
+
 // GridResult is a completed scenario grid.
 type GridResult struct {
 	// Axes is the normalized grid description (network axes filled in).

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# docscheck.sh — the docs gate: extract the README quickstart code block
+# and execute it VERBATIM, so the documented commands cannot rot. If a
+# flag is renamed or an example file moves, this script — and the CI
+# `docs` job that runs it — fails until the README is updated.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Hermetic sweep cache, same convention as check.sh: the quickstart must
+# work from a cold cache and never touch a developer's real one.
+CACHE_DIR=$(mktemp -d /tmp/repro-docs-cache.XXXXXX)
+export CACHE_DIR
+trap 'rm -rf "$CACHE_DIR"' EXIT
+
+# The first ```sh fence INSIDE the "## Quickstart" section is the
+# contract; everything between it and the closing fence runs as-is. The
+# scan stops at the next "## " heading, so a renamed or deleted
+# quickstart block fails loudly instead of running some later section's
+# shell block.
+script=$(awk '/^## Quickstart/{q=1; next} q && /^## /{exit} q && /^```sh$/{grab=1; next} grab && /^```$/{exit} grab{print}' README.md)
+if [ -z "$script" ]; then
+    echo "docscheck: no \`\`\`sh block found under '## Quickstart' in README.md" >&2
+    exit 1
+fi
+
+echo "== README quickstart =="
+echo "$script"
+echo "== running =="
+bash -euo pipefail -c "$script"
+echo "OK"
