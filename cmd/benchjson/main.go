@@ -10,10 +10,13 @@
 // the root bench harness attaches via b.ReportMetric.
 //
 // With -compare, the run exits non-zero if any deterministic scenario
-// metric (sss, worst_s — simulation outputs, machine-independent) drifts
-// from the tracked report by more than the relative tolerance -tol. CI
-// uses this (scripts/benchcmp.sh) to catch silent changes to the sweep
-// dynamics; timings are never compared, so the gate is noise-free.
+// metric (sss, worst_s, engine_runs — simulation outputs and cache
+// behavior, machine-independent) drifts from the tracked report by more
+// than the relative tolerance -tol. CI uses this (scripts/benchcmp.sh)
+// to catch silent changes to the sweep dynamics — and, via
+// grid_subgrid_warm's engine_runs = 0, any regression of the cell
+// store's sub-grid reuse guarantee; timings are never compared, so the
+// gate is noise-free.
 package main
 
 import (
@@ -102,6 +105,41 @@ func sweepMetrics(sweep *workload.SweepResult) map[string]float64 {
 	return map[string]float64{"worst_s": worst.Seconds(), "sss": sss}
 }
 
+// gridMetrics extracts the same outputs from a scenario grid.
+func gridMetrics(g *workload.GridResult) map[string]float64 {
+	worst := time.Duration(0)
+	sss := 0.0
+	for _, row := range g.Rows {
+		if row.Worst > worst {
+			worst = row.Worst
+		}
+		if row.SSS > sss {
+			sss = row.SSS
+		}
+	}
+	return map[string]float64{"worst_s": worst.Seconds(), "sss": sss}
+}
+
+// subgridAxes returns the superset grid persisted once and the strictly
+// contained sub-grid the grid_subgrid_warm scenario assembles from its
+// cell records (2 conc × 2 P × 3 RTTs × 2 buffers = 24 cells; the
+// sub-grid keeps one RTT, so 8 of them).
+func subgridAxes() (super, sub workload.Axes) {
+	super = workload.Axes{
+		Duration:      2 * time.Second,
+		Concurrencies: []int{2, 6},
+		ParallelFlows: []int{2, 8},
+		TransferSizes: []units.ByteSize{0.5 * units.GB},
+		RTTs:          []time.Duration{8 * time.Millisecond, 16 * time.Millisecond, 32 * time.Millisecond},
+		Buffers:       []units.ByteSize{0, 2 * units.MB},
+		Strategy:      workload.SpawnSimultaneous,
+		Net:           tcpsim.DefaultConfig(),
+	}
+	sub = super
+	sub.RTTs = super.RTTs[2:]
+	return super, sub
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	outPath := fs.String("o", "BENCH_sweep.json", "output path")
@@ -188,6 +226,42 @@ func run(args []string, out io.Writer) error {
 		}
 	}))
 
+	// The incremental planner's headline path: a sub-grid assembled
+	// purely from a superset grid's cell records. engine_runs is gated
+	// at 0 by -compare — any regression in cell-granular reuse fails the
+	// bench gate, not just the unit tests.
+	cellDir, err := os.MkdirTemp("", "benchjson-cells")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(cellDir)
+	super, sub := subgridAxes()
+	seeder := workload.NewGridCache()
+	seeder.SetDiskDir(cellDir)
+	if _, err := seeder.Get(super, 0); err != nil {
+		return err
+	}
+	before := workload.EngineRunCount()
+	fresh := workload.NewGridCache()
+	fresh.SetDiskDir(cellDir)
+	subRes, err := fresh.Get(sub, 0)
+	if err != nil {
+		return err
+	}
+	subMetrics := gridMetrics(subRes)
+	subMetrics["engine_runs"] = float64(workload.EngineRunCount() - before)
+	report.Results = append(report.Results, measure("grid_subgrid_warm", subMetrics, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// A fresh cache per iteration: the memo must not hide the
+			// disk-assembly cost being measured.
+			c := workload.NewGridCache()
+			c.SetDiskDir(cellDir)
+			if _, err := c.Get(sub, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
 	if !*quick {
 		paperCfg := experiments.PaperSweep()
 		fig2a, err := experiments.Fig2a(paperCfg)
@@ -246,7 +320,9 @@ func run(args []string, out io.Writer) error {
 
 // deterministicMetrics are the simulation outputs compared by -compare:
 // bit-reproducible across machines and worker counts, unlike timings.
-var deterministicMetrics = []string{"sss", "worst_s"}
+// engine_runs rides along for grid_subgrid_warm, where the tracked value
+// 0 turns the sub-grid reuse guarantee into a bench-gate invariant.
+var deterministicMetrics = []string{"sss", "worst_s", "engine_runs"}
 
 // compareReports checks every deterministic metric present in both
 // reports (scenarios matched by name) against the relative tolerance.

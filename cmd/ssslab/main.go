@@ -20,9 +20,14 @@
 //
 // Axis flags default to the corresponding single-experiment flag, so
 // `-grid -rtts 8ms,16ms,64ms` sweeps RTT alone. Simulated results are
-// memoized in memory and persisted under -cache-dir (default $CACHE_DIR,
-// else ~/.cache/repro/sweeps), so a repeated invocation recomputes
-// nothing; pass `-cache-dir off` to disable persistence.
+// memoized in memory and persisted per cell under -cache-dir (default
+// $CACHE_DIR, else ~/.cache/repro/sweeps), so a repeated invocation —
+// or any sub-grid or overlapping grid of an earlier invocation —
+// recomputes only cells never seen before; pass `-cache-dir off` to
+// disable persistence. With -cache-stats, the run reports how it was
+// served:
+//
+//	cache-stats: cells=48 memo=0 disk=48 engine-runs=0
 //
 // With -portfolio, grid mode replaces the single break-even model with a
 // portfolio summary: every scenario of the JSON portfolio (the
@@ -71,6 +76,8 @@ func run(args []string, out io.Writer) error {
 	csvPath := fs.String("csv", "", "write the per-client transfer log (or grid rows) as CSV")
 	cacheDir := fs.String("cache-dir", "",
 		"sweep disk cache directory (default $CACHE_DIR, else ~/.cache/repro/sweeps; \"off\" disables)")
+	cacheStats := fs.Bool("cache-stats", false,
+		"after a sim run, report cells requested / from memo / from disk / engine runs")
 	grid := fs.Bool("grid", false, "sweep a multi-axis scenario grid (sim mode only)")
 	portfolioPath := fs.String("portfolio", "",
 		"grid mode: summarize this JSON portfolio's decisions at every cell (requires -grid)")
@@ -113,24 +120,38 @@ func run(args []string, out io.Writer) error {
 			Strategy:      strat,
 			Net:           tcpsim.DefaultConfig(),
 		}
+		// report appends the per-run cache counter deltas after a
+		// successful sim run, so operators see how much of the grid the
+		// memo and the cell store served (CI's subgrid-warm gate greps
+		// for engine-runs=0 here).
+		before := workload.ReadCacheStats()
+		report := func(err error) error {
+			if err == nil && *cacheStats {
+				fmt.Fprintf(out, "cache-stats: %s\n", workload.ReadCacheStats().Since(before))
+			}
+			return err
+		}
 		if *grid {
 			axes, err := axisFlags.Apply(base)
 			if err != nil {
 				return err
 			}
 			if *portfolioPath != "" {
-				return runPortfolioSim(out, axes, *portfolioPath, *csvPath)
+				return report(runPortfolioSim(out, axes, *portfolioPath, *csvPath))
 			}
-			return runGridSim(out, axes, *complexity, *localStr, *remoteStr, *theta, *csvPath)
+			return report(runGridSim(out, axes, *complexity, *localStr, *remoteStr, *theta, *csvPath))
 		}
 		if *portfolioPath != "" {
 			return fmt.Errorf("-portfolio requires -grid (the portfolio is decided at every grid cell)")
 		}
-		return runSingleSim(out, base, *csvPath)
+		return report(runSingleSim(out, base, *csvPath))
 
 	case "live":
 		if *grid || *portfolioPath != "" {
 			return fmt.Errorf("-grid/-portfolio are sim-mode only (live loopback has no scenario axes)")
+		}
+		if *cacheStats {
+			return fmt.Errorf("-cache-stats is sim-mode only (live loopback never touches the sweep caches)")
 		}
 		size := 8 * units.MB
 		if *sizeStr != "" {

@@ -159,6 +159,43 @@ func TestGridWarmDiskCache(t *testing.T) {
 	}
 }
 
+// TestCacheStats: -cache-stats reports how the grid was served — every
+// cell from the engine when cold, every cell from disk when warm, and
+// zero engine runs for a sub-grid contained in an earlier superset run.
+func TestCacheStats(t *testing.T) {
+	dir := t.TempDir()
+	workload.PurgeSweepCache()
+	workload.PurgeGridCache()
+
+	var cold strings.Builder
+	if err := run(append(gridArgs(dir), "-cache-stats"), &cold); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cold.String(), "cache-stats: cells=8 memo=0 disk=0 engine-runs=8") {
+		t.Errorf("cold stats line missing:\n%s", cold.String())
+	}
+
+	// A strict sub-grid of the superset (1 of 2 RTTs × 1 of 2 buffers ×
+	// both P values = 2 of the 8 cells), in a fresh "process": every cell
+	// must come from the superset's records, zero engine runs.
+	workload.PurgeSweepCache()
+	workload.PurgeGridCache()
+	subArgs := []string{"-grid", "-seconds", "1", "-concurrency", "6",
+		"-rtts", "32ms", "-buffers", "1MB", "-pflows", "2,8",
+		"-cache-dir", dir, "-cache-stats"}
+	before := workload.EngineRunCount()
+	var warm strings.Builder
+	if err := run(subArgs, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if runs := workload.EngineRunCount() - before; runs != 0 {
+		t.Errorf("sub-grid ran %d experiments, want 0", runs)
+	}
+	if !strings.Contains(warm.String(), "cache-stats: cells=2 memo=0 disk=2 engine-runs=0") {
+		t.Errorf("warm sub-grid stats line missing:\n%s", warm.String())
+	}
+}
+
 func TestGridCSV(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "grid.csv")
@@ -279,6 +316,7 @@ func TestBadArgs(t *testing.T) {
 		{"-grid", "-local", "banana", "-cache-dir", "off"},
 		{"-portfolio", examplePortfolio, "-cache-dir", "off"},
 		{"-mode", "live", "-portfolio", examplePortfolio},
+		{"-mode", "live", "-cache-stats"},
 		{"-grid", "-portfolio", "missing.json", "-cache-dir", "off"},
 	}
 	for _, args := range cases {

@@ -28,9 +28,12 @@
 //	             [-rtts 8ms,64ms] [-crosses 0,0.3] [...axis flags...]
 //	             [-csv out.csv] [-json out.json]
 //
-// Grid sweeps are cached on disk under -cache-dir (default $CACHE_DIR,
-// else ~/.cache/repro/sweeps), so a repeated invocation recomputes
-// nothing — warm portfolio runs perform zero simulations.
+// Grid sweeps are cached on disk per cell under -cache-dir (default
+// $CACHE_DIR, else ~/.cache/repro/sweeps), so a repeated invocation — or
+// any sub-grid or overlapping grid of an earlier one — recomputes only
+// cells never seen before; warm portfolio runs perform zero simulations.
+// Pass -cache-stats to see how a grid run was served (cells from memo /
+// disk vs engine runs).
 package main
 
 import (
@@ -78,8 +81,13 @@ func run(args []string, out io.Writer) error {
 	axisFlags.Register(fs)
 	cacheDir := fs.String("cache-dir", "",
 		"sweep disk cache directory (default $CACHE_DIR, else ~/.cache/repro/sweeps; \"off\" disables)")
+	cacheStats := fs.Bool("cache-stats", false,
+		"grid mode: report cells requested / from memo / from disk / engine runs after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cacheStats && !*grid {
+		return fmt.Errorf("-cache-stats requires -grid (only grid runs touch the sweep caches)")
 	}
 	if *grid && *configPath != "" {
 		return fmt.Errorf("-grid and -config are mutually exclusive (a portfolio row has its own transfer rate)")
@@ -169,6 +177,15 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		workload.SetDiskCacheDir(dir)
+		// Counter snapshot for -cache-stats: the delta after the run
+		// attributes every grid cell to memo, disk, or engine execution.
+		statsBefore := workload.ReadCacheStats()
+		reportStats := func(err error) error {
+			if err == nil && *cacheStats {
+				fmt.Fprintf(out, "cache-stats: %s\n", workload.ReadCacheStats().Since(statsBefore))
+			}
+			return err
+		}
 		net := tcpsim.DefaultConfig()
 		net.Capacity = bw
 		base := workload.Axes{
@@ -211,7 +228,7 @@ func run(args []string, out io.Writer) error {
 					return err
 				}
 			}
-			return nil
+			return reportStats(nil)
 		}
 		fmt.Fprintf(out, "grid: %s (%v bottleneck)\n", scenario.GridHeader(a), a.Net.Capacity)
 		fmt.Fprintf(out, "model: C=%.3g FLOP/GB, local %v, remote %v, theta %.2f; R_transfer measured per cell\n\n",
@@ -224,7 +241,7 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprint(out, scenario.RenderGrid(ds))
-		return nil
+		return reportStats(nil)
 	}
 
 	d, err := core.Decide(p, opts)

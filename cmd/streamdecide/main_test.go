@@ -189,6 +189,37 @@ func TestGridWarmDiskCache(t *testing.T) {
 	}
 }
 
+// TestCacheStats: -cache-stats attributes every requested cell, cold
+// and warm — and a sub-grid of an earlier superset run reports zero
+// engine runs.
+func TestCacheStats(t *testing.T) {
+	dir := t.TempDir()
+	workload.PurgeSweepCache()
+	workload.PurgeGridCache()
+
+	superArgs := []string{"-grid", "-gseconds", "1", "-rtts", "8ms,32ms",
+		"-buffers", "auto,1MB", "-pflows", "2,8", "-cache-dir", dir, "-cache-stats"}
+	var cold strings.Builder
+	if err := run(superArgs, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cold.String(), "cache-stats: cells=8 memo=0 disk=0 engine-runs=8") {
+		t.Errorf("cold stats line missing:\n%s", cold.String())
+	}
+
+	workload.PurgeSweepCache()
+	workload.PurgeGridCache()
+	subArgs := []string{"-grid", "-gseconds", "1", "-rtts", "8ms",
+		"-buffers", "1MB", "-pflows", "2,8", "-cache-dir", dir, "-cache-stats"}
+	var warm strings.Builder
+	if err := run(subArgs, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warm.String(), "cache-stats: cells=2 memo=0 disk=2 engine-runs=0") {
+		t.Errorf("warm sub-grid stats line missing:\n%s", warm.String())
+	}
+}
+
 // examplePortfolio is the runnable portfolio shipped with the repo; the
 // CLI tests exercise the same file the README quickstart uses.
 const examplePortfolio = "../../examples/portfolio/portfolio.json"
@@ -306,6 +337,7 @@ func TestGridFlagConflicts(t *testing.T) {
 	for _, args := range [][]string{
 		{"-grid", "-config", "portfolio.json", "-cache-dir", "off"},
 		{"-grid", "-sensitivity", "theta", "-cache-dir", "off"},
+		{"-cache-stats"}, // only grid runs touch the caches
 	} {
 		var out strings.Builder
 		if err := run(args, &out); err == nil {

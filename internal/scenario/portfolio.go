@@ -262,7 +262,7 @@ func RenderFrontiers(pg *PortfolioGrid) string {
 }
 
 // PortfolioSchema stamps archived portfolio-grid JSON documents, in the
-// same spirit as workload.DiskCacheVersion: bump it whenever the report
+// same spirit as workload.CellRecordVersion: bump it whenever the report
 // schema changes, so readers can reject foreign or stale archives.
 const PortfolioSchema = "repro-portfolio/v1"
 

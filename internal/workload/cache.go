@@ -82,128 +82,111 @@ func (m *memo[T]) purge() {
 	m.entries = make(map[string]*memoEntry[T])
 }
 
-// diskMemo layers the disk cache under a single-flight memo: a miss
-// first tries the version-stamped file for the key and only computes —
-// then writes — when the file is absent or defective. SweepCache and
-// GridCache wrap it with their payload types.
-type diskMemo[T any] struct {
-	mem memo[*T]
-
-	mu  sync.Mutex
-	dir string
-}
-
-// SetDiskDir points the cache at a disk directory ("" disables
-// persistence). Entries already memoized in memory are unaffected.
-func (c *diskMemo[T]) SetDiskDir(dir string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.dir = dir
-}
-
-// DiskDir returns the configured disk directory ("" when disabled).
-func (c *diskMemo[T]) DiskDir() string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.dir
-}
-
-// get is the disk-first single-flight lookup. persist gates both the
-// disk load and the store (results that pin client records stay
-// memory-only). accept inspects a freshly-loaded value — rejecting
-// defective payloads and restoring caller-authoritative fields (the
-// config behind the fingerprint).
-func (c *diskMemo[T]) get(key string, persist bool, accept func(*T) bool, compute func() (*T, error)) (*T, error) {
-	return c.mem.get(key, func() (*T, error) {
-		dir := c.DiskDir()
-		if persist {
-			var cached T
-			if diskLoad(dir, key, &cached) && accept(&cached) {
-				return &cached, nil
-			}
-		}
-		res, err := compute()
-		if err != nil {
-			return nil, err
-		}
-		if persist {
-			// Best-effort: an unwritable cache dir must not fail the run.
-			_ = diskStore(dir, key, res)
-		}
-		return res, nil
-	})
-}
-
-// Len reports how many distinct entries the cache holds in memory.
-func (c *diskMemo[T]) Len() int { return c.mem.len() }
-
-// Purge empties the in-memory cache. Disk files persist; use
-// PurgeDiskCache to remove those.
-func (c *diskMemo[T]) Purge() { c.mem.purge() }
-
 // SweepCache memoizes sweep results by config fingerprint, so pipelines
 // that regenerate several artifacts from the same sweep (Fig. 2a → Fig. 3
 // → case study, repeated benchmark iterations) compute each distinct
 // sweep exactly once. Lookups are single-flight: concurrent Get calls for
-// the same fingerprint run one sweep and share the result; with a disk
-// directory set (SetDiskDir), results also persist across processes.
+// the same fingerprint run one sweep and share the result. With a disk
+// directory set (SetDiskDir), the sweep's cells persist as individual
+// records in the cell store, shared with every grid that contains them.
 //
 // Cached *SweepResult values are SHARED — callers must treat them as
 // read-only. Keep SweepConfig.KeepClientResults off for cached sweeps
 // (the default) so the cache holds only per-row aggregates; sweeps that
 // keep client results are never persisted to disk.
 type SweepCache struct {
-	diskMemo[SweepResult]
+	mem   memo[*SweepResult]
+	cells cellStore
 }
 
 // NewSweepCache returns an empty cache with disk persistence off.
 func NewSweepCache() *SweepCache { return &SweepCache{} }
 
-// Get returns the cached result for cfg, computing it through the grid
-// executor on first use (disk first when enabled). The workers count
+// SetDiskDir points the cache's cell store at a disk directory (""
+// disables persistence). Entries already memoized in memory are
+// unaffected.
+func (c *SweepCache) SetDiskDir(dir string) { c.cells.setDir(dir) }
+
+// DiskDir returns the configured disk directory ("" when persistence is
+// off or the store has degraded after a write failure).
+func (c *SweepCache) DiskDir() string { return c.cells.activeDir() }
+
+// Len reports how many distinct results the cache holds in memory.
+func (c *SweepCache) Len() int { return c.mem.len() }
+
+// Purge empties the in-memory memo. Cell records persist on disk; use
+// PurgeDiskCache to remove those.
+func (c *SweepCache) Purge() { c.mem.purge() }
+
+// Get returns the cached result for cfg, computing it through the
+// incremental grid pipeline on first use: cells already in the cell
+// store load from disk, only missing cells execute. The workers count
 // does not key the cache: the executor is bit-identical for every worker
 // count, so whichever Get arrives first fixes only how the sweep is
 // computed, never what it contains.
 func (c *SweepCache) Get(cfg SweepConfig, workers int) (*SweepResult, error) {
-	return c.get(cfg.Fingerprint(), !cfg.KeepClientResults,
-		func(r *SweepResult) bool {
-			if len(r.Rows) == 0 {
-				return false
-			}
-			// Trust the rows, not the stored config: equal fingerprints
-			// guarantee equal rows, and cfg is authoritative for the rest.
-			r.Config = cfg
-			return true
-		},
-		func() (*SweepResult, error) { return runSweepViaGrid(cfg, workers) })
+	if len(cfg.Concurrencies) == 0 || len(cfg.ParallelFlows) == 0 {
+		return nil, fmt.Errorf("workload: empty sweep axes")
+	}
+	cellsRequested.Add(int64(cfg.Size()))
+	computed := false
+	res, err := c.mem.get(cfg.Fingerprint(), func() (*SweepResult, error) {
+		computed = true
+		return runSweepViaGrid(cfg, workers, &c.cells)
+	})
+	if err == nil && !computed {
+		cellsFromMemo.Add(int64(cfg.Size()))
+	}
+	return res, err
 }
 
 // GridCache memoizes scenario-grid results by Axes fingerprint with the
-// same single-flight and disk-persistence semantics as SweepCache.
-// Cached *GridResult values are SHARED — treat them as read-only.
+// same single-flight memo over the same cell-store layering as
+// SweepCache. Cached *GridResult values are SHARED — treat them as
+// read-only.
 type GridCache struct {
-	diskMemo[GridResult]
+	mem   memo[*GridResult]
+	cells cellStore
 }
 
 // NewGridCache returns an empty cache with disk persistence off.
 func NewGridCache() *GridCache { return &GridCache{} }
 
-// Get returns the cached result for the grid, computing it with
-// RunGridParallel(a, workers) on first use (disk first when enabled).
+// SetDiskDir points the cache's cell store at a disk directory (""
+// disables persistence).
+func (c *GridCache) SetDiskDir(dir string) { c.cells.setDir(dir) }
+
+// DiskDir returns the configured disk directory ("" when persistence is
+// off or the store has degraded after a write failure).
+func (c *GridCache) DiskDir() string { return c.cells.activeDir() }
+
+// Len reports how many distinct results the cache holds in memory.
+func (c *GridCache) Len() int { return c.mem.len() }
+
+// Purge empties the in-memory memo. Cell records persist on disk; use
+// PurgeDiskCache to remove those.
+func (c *GridCache) Purge() { c.mem.purge() }
+
+// Get returns the cached result for the grid, assembling it through the
+// incremental planner on first use: any cell previously computed by any
+// grid or sweep sharing the cache directory loads from its record, and
+// only genuinely missing cells run on the engine pool. A sub-grid of a
+// previously-run grid is therefore served with zero engine runs.
 func (c *GridCache) Get(a Axes, workers int) (*GridResult, error) {
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
 	a = a.normalized()
-	return c.get(a.Fingerprint(), !a.KeepClientResults,
-		func(r *GridResult) bool {
-			if len(r.Rows) == 0 {
-				return false
-			}
-			r.Axes = a
-			return true
-		},
-		func() (*GridResult, error) { return RunGridParallel(a, workers) })
+	cellsRequested.Add(int64(a.Size()))
+	computed := false
+	res, err := c.mem.get(a.Fingerprint(), func() (*GridResult, error) {
+		computed = true
+		return runGridIncremental(a, workers, &c.cells)
+	})
+	if err == nil && !computed {
+		cellsFromMemo.Add(int64(a.Size()))
+	}
+	return res, err
 }
 
 // defaultCache and defaultGridCache back the process-wide cached

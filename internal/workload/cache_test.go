@@ -2,6 +2,7 @@ package workload
 
 import (
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -62,10 +63,11 @@ func TestFingerprintDistinguishesConfigs(t *testing.T) {
 }
 
 // TestFingerprintCoversAllFields is the structural guard behind the
-// cache's soundness: Fingerprint enumerates config fields by hand, so
-// adding a field to any of these structs without teaching Fingerprint
-// about it would silently alias distinct sweeps. If this test fails,
-// update Fingerprint (and the mutation table above) in the same change.
+// cache's soundness: SweepConfig.Fingerprint, Axes.Fingerprint and
+// cellFingerprint enumerate config fields by hand, so adding a field to
+// any of these structs without teaching the fingerprints about it would
+// silently alias distinct sweeps or cells. If this test fails, update
+// the fingerprints (and the mutation tables above) in the same change.
 func TestFingerprintCoversAllFields(t *testing.T) {
 	for _, tc := range []struct {
 		name string
@@ -73,13 +75,50 @@ func TestFingerprintCoversAllFields(t *testing.T) {
 		want int
 	}{
 		{"SweepConfig", reflect.TypeOf(SweepConfig{}), 7},
+		{"Experiment", reflect.TypeOf(Experiment{}), 6},
 		{"tcpsim.Config", reflect.TypeOf(tcpsim.Config{}), 11},
 		{"tcpsim.CrossTraffic", reflect.TypeOf(tcpsim.CrossTraffic{}), 4},
 	} {
 		if got := tc.typ.NumField(); got != tc.want {
-			t.Errorf("%s has %d fields, Fingerprint knows %d — update workload.SweepConfig.Fingerprint",
+			t.Errorf("%s has %d fields, the fingerprints know %d — update SweepConfig.Fingerprint / cellFingerprint",
 				tc.name, got, tc.want)
 		}
+	}
+}
+
+// TestCellFingerprintDistinguishesExperiments mirrors the sweep-level
+// mutation table at cell granularity: every output-affecting Experiment
+// field must move the cell fingerprint.
+func TestCellFingerprintDistinguishesExperiments(t *testing.T) {
+	base := DefaultExperiment()
+	if !strings.HasPrefix(cellFingerprint(base), "cell;") {
+		t.Fatalf("cell fingerprint %q lacks cell; prefix", cellFingerprint(base))
+	}
+	mutations := map[string]func(*Experiment){
+		"duration":    func(e *Experiment) { e.Duration = 7 * time.Second },
+		"concurrency": func(e *Experiment) { e.Concurrency = 7 },
+		"flows":       func(e *Experiment) { e.ParallelFlows = 3 },
+		"size":        func(e *Experiment) { e.TransferSize = units.GB },
+		"strategy":    func(e *Experiment) { e.Strategy = SpawnScheduled },
+		"seed":        func(e *Experiment) { e.Net.Seed = 99 },
+		"rtt":         func(e *Experiment) { e.Net.BaseRTT = 32 * time.Millisecond },
+		"buffer":      func(e *Experiment) { e.Net.Buffer = units.MB },
+		"cc":          func(e *Experiment) { e.Net.CC = tcpsim.Cubic },
+		"cross":       func(e *Experiment) { e.Net.Cross.Fraction = 0.3 },
+		"capacity":    func(e *Experiment) { e.Net.Capacity = 10 * units.Gbps },
+	}
+	seen := map[string]string{cellFingerprint(base): "base"}
+	for name, mutate := range mutations {
+		e := base
+		mutate(&e)
+		fp := cellFingerprint(e)
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s collides with %s", name, prev)
+		}
+		seen[fp] = name
+	}
+	if cellFingerprint(base) != cellFingerprint(DefaultExperiment()) {
+		t.Error("equal experiments produced different cell fingerprints")
 	}
 }
 

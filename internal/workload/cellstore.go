@@ -1,0 +1,209 @@
+package workload
+
+// The cell store: cell-granular disk persistence for the sweep/grid
+// caches. Every GridCell outcome is stored as an independently
+// addressable, version-stamped record keyed by the fingerprint of the
+// cell's own Experiment (network point + Table 2 coordinates + derived
+// seed) — never by the grid that happened to compute it. Because cell
+// seeds are intrinsic to cell coordinates (grid.go, netPointSeedOffset),
+// a record written while computing one grid serves the identical cell of
+// ANY other grid: sub-grids and overlapping grids reuse every cell ever
+// computed, and a sub-grid fully contained in a previously-run grid
+// assembles with zero engine runs.
+//
+// The store is corruption-tolerant (any defective record is a miss that
+// recomputes only that cell) and degrades to persistence-off — with a
+// single stderr warning — the first time a write fails, so an unwritable
+// cache directory costs one failed attempt, not one per cell.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// CellRecordVersion stamps every cell record on disk. It supersedes the
+// whole-blob DiskCacheVersion of the earlier cache format (old blob
+// files simply never match a cell fingerprint and age out as misses —
+// migration by miss). Bump it whenever the simulation dynamics, the
+// per-cell seed derivation, or the SweepRow schema change: stale records
+// then fail the version check and are recomputed.
+const CellRecordVersion = "repro-cells/v1"
+
+// cellFingerprint returns the canonical key of one cell's experiment,
+// covering every field that affects the cell's row: duration, the
+// Table 2 coordinates, transfer size, strategy, and the full network
+// config with the cell's axis overrides and derived seed already baked
+// in. Equal fingerprints ⇒ bit-identical rows, which is what makes a
+// stored record a sound substitute for a recompute. KeepClientResults is
+// deliberately absent: rows that pin client results never touch the
+// store (the planner skips persistence entirely).
+func cellFingerprint(e Experiment) string {
+	var b strings.Builder
+	b.Grow(256)
+	f := func(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+	fmt.Fprintf(&b, "cell;dur=%d;conc=%d;p=%d;size=%s;strat=%d",
+		int64(e.Duration), e.Concurrency, e.ParallelFlows,
+		f(float64(e.TransferSize)), int(e.Strategy))
+	n := e.Net
+	fmt.Fprintf(&b, ";cap=%s;rtt=%d;mss=%s;buf=%s;icw=%d;rto=%d;seed=%d;maxt=%s;rq=%t;cc=%d",
+		f(float64(n.Capacity)), int64(n.BaseRTT), f(float64(n.MSS)), f(float64(n.Buffer)),
+		n.InitCwndSegments, int64(n.RTO), n.Seed, f(n.MaxTime), n.RecordQueue, int(n.CC))
+	fmt.Fprintf(&b, ";xfrac=%s;xper=%d;xduty=%s;xjit=%t",
+		f(n.Cross.Fraction), int64(n.Cross.Period), f(n.Cross.Duty), n.Cross.PhaseJitter)
+	return b.String()
+}
+
+// cellStore persists SweepRows keyed by cell fingerprint under one
+// directory. The zero value has persistence off; setDir enables it. Two
+// stores pointed at the same directory share records — across cache
+// instances and across processes — because the record key is the cell
+// fingerprint, not the owning cache or grid.
+type cellStore struct {
+	mu       sync.Mutex
+	dir      string
+	disabled bool
+}
+
+// setDir points the store at a directory ("" disables persistence) and
+// clears any degrade state from a previous directory.
+func (s *cellStore) setDir(dir string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dir = dir
+	s.disabled = false
+}
+
+// activeDir returns the directory to use now: "" when persistence is
+// off or the store has degraded.
+func (s *cellStore) activeDir() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.disabled {
+		return ""
+	}
+	return s.dir
+}
+
+// disable turns persistence off for the store's lifetime (until the
+// next setDir) after a write failure, warning once per process. Without
+// this, an unwritable cache directory would retry — and fail — once per
+// freshly computed cell.
+func (s *cellStore) disable(err error) {
+	s.mu.Lock()
+	s.disabled = true
+	s.mu.Unlock()
+	warnPersistenceOff(err)
+}
+
+// persistWarnOnce collapses every degrade event in the process into ONE
+// stderr warning: a 1000-cell grid on a read-only cache directory must
+// not print 1000 lines. persistWarnW is swapped by tests.
+var (
+	persistWarnOnce sync.Once
+	persistWarnW    io.Writer = os.Stderr
+)
+
+func warnPersistenceOff(err error) {
+	persistWarnOnce.Do(func() {
+		fmt.Fprintf(persistWarnW, "workload: disk cache unavailable, continuing without persistence: %v\n", err)
+	})
+}
+
+// load reads the record for fp into row, reporting false — a miss, never
+// an error — on any defect: missing or unreadable file, truncated or
+// corrupt JSON, version or fingerprint mismatch, or a payload that does
+// not belong to cell c. Defective files are removed so the following
+// store rewrites them; only the damaged cell recomputes.
+func (s *cellStore) load(fp string, c GridCell, row *SweepRow) bool {
+	dir := s.activeDir()
+	if dir == "" {
+		return false
+	}
+	var rec SweepRow
+	if !diskLoad(dir, CellRecordVersion, fp, &rec) {
+		return false
+	}
+	// Structural acceptance: the record must be a populated row for this
+	// cell's Table 2 coordinates. Anything else is corruption (or a
+	// fingerprint-prefix collision) — drop the file and recompute.
+	if rec.Concurrency != c.Concurrency || rec.ParallelFlows != c.ParallelFlows ||
+		rec.Worst <= 0 || len(rec.TransferTimes) == 0 {
+		os.Remove(diskPath(dir, fp))
+		return false
+	}
+	*row = rec
+	return true
+}
+
+// store writes the record for fp, best-effort: the first failure
+// degrades the whole store to persistence-off (cache writes must never
+// fail a run, and must not retry per cell).
+func (s *cellStore) store(fp string, row SweepRow) {
+	dir := s.activeDir()
+	if dir == "" {
+		return
+	}
+	if err := diskStore(dir, CellRecordVersion, fp, row); err != nil {
+		s.disable(err)
+	}
+}
+
+// Cache observability counters, next to engineRuns (workload.go). All
+// are cumulative and process-wide; CLIs report per-run deltas via
+// ReadCacheStats().Since.
+var (
+	cellsRequested atomic.Int64
+	cellsFromMemo  atomic.Int64
+	cellsFromDisk  atomic.Int64
+)
+
+// CacheStats is a snapshot of the process-wide cache counters: how many
+// grid cells were requested through the caches, how many were served by
+// the in-memory memo, how many were loaded from cell records on disk,
+// and how many experiments actually executed on a simulation engine.
+// For a fully warm request, EngineRuns is 0 and the memo/disk counters
+// account for every requested cell.
+type CacheStats struct {
+	CellsRequested int64
+	CellsFromMemo  int64
+	CellsFromDisk  int64
+	EngineRuns     int64
+}
+
+// ReadCacheStats returns the cumulative counters since process start.
+func ReadCacheStats() CacheStats {
+	return CacheStats{
+		CellsRequested: cellsRequested.Load(),
+		CellsFromMemo:  cellsFromMemo.Load(),
+		CellsFromDisk:  cellsFromDisk.Load(),
+		EngineRuns:     engineRuns.Load(),
+	}
+}
+
+// Since returns the counter deltas accumulated after prev — the usual
+// way to attribute cache behavior to one run:
+//
+//	before := workload.ReadCacheStats()
+//	...run a grid...
+//	delta := workload.ReadCacheStats().Since(before)
+func (s CacheStats) Since(prev CacheStats) CacheStats {
+	return CacheStats{
+		CellsRequested: s.CellsRequested - prev.CellsRequested,
+		CellsFromMemo:  s.CellsFromMemo - prev.CellsFromMemo,
+		CellsFromDisk:  s.CellsFromDisk - prev.CellsFromDisk,
+		EngineRuns:     s.EngineRuns - prev.EngineRuns,
+	}
+}
+
+// String renders the stats in the stable machine-greppable form the
+// CLIs print for -cache-stats (CI's subgrid-warm gate matches on
+// "engine-runs=0").
+func (s CacheStats) String() string {
+	return fmt.Sprintf("cells=%d memo=%d disk=%d engine-runs=%d",
+		s.CellsRequested, s.CellsFromMemo, s.CellsFromDisk, s.EngineRuns)
+}

@@ -1,0 +1,356 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// seedCellRecords runs the grid cold through a disk-backed cache so its
+// cell records exist under dir, returning the reference rows.
+func seedCellRecords(t *testing.T, dir string, a Axes) []GridRow {
+	t.Helper()
+	c := NewGridCache()
+	c.SetDiskDir(dir)
+	g, err := c.Get(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Rows
+}
+
+// cellCorruptionCases mangles one cell record in every way the loader
+// must tolerate. Each takes the record's path plus the envelope of a
+// DIFFERENT cell (for cross-cell forgeries).
+var cellCorruptionCases = map[string]func(t *testing.T, path, otherPath string){
+	"garbage": func(t *testing.T, path, _ string) {
+		if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	},
+	"truncated record": func(t *testing.T, path, _ string) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	},
+	"empty": func(t *testing.T, path, _ string) {
+		if err := os.WriteFile(path, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	},
+	"version mismatch": func(t *testing.T, path, _ string) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env diskEnvelope
+		if err := json.Unmarshal(data, &env); err != nil {
+			t.Fatal(err)
+		}
+		env.Version = "repro-cells/v0-ancient"
+		out, err := json.Marshal(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	},
+	// A fingerprint-prefix collision: some other cell's record (whose
+	// full fingerprint differs) lands on this cell's path. The envelope's
+	// full fingerprint is the guard — the loader must miss, not serve the
+	// wrong cell.
+	"fingerprint prefix collision": func(t *testing.T, path, otherPath string) {
+		data, err := os.ReadFile(otherPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	},
+	"payload wrong shape": func(t *testing.T, path, _ string) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env diskEnvelope
+		if err := json.Unmarshal(data, &env); err != nil {
+			t.Fatal(err)
+		}
+		env.Payload = json.RawMessage(`[1, 2, 3]`)
+		out, err := json.Marshal(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	},
+	// Structurally valid JSON, right version and fingerprint, but the row
+	// belongs to different Table 2 coordinates — the store's acceptance
+	// check must reject it.
+	"payload wrong cell": func(t *testing.T, path, _ string) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env diskEnvelope
+		if err := json.Unmarshal(data, &env); err != nil {
+			t.Fatal(err)
+		}
+		var row SweepRow
+		if err := json.Unmarshal(env.Payload, &row); err != nil {
+			t.Fatal(err)
+		}
+		row.Concurrency += 17
+		raw, err := json.Marshal(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env.Payload = raw
+		out, err := json.Marshal(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	},
+}
+
+// TestCellRecordCorruptionRecovery: every class of defective cell record
+// is a miss for THAT CELL ONLY — the grid recomputes exactly the damaged
+// cell, assembles rows byte-identical to the cold reference, and leaves
+// a repaired record behind.
+func TestCellRecordCorruptionRecovery(t *testing.T) {
+	a := fastAxes()
+	cold, err := RunGrid(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := gridRowsJSON(t, cold.Rows)
+
+	for name, corrupt := range cellCorruptionCases {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			seedCellRecords(t, dir, a)
+			paths := cellRecordPaths(dir, a)
+			corrupt(t, paths[3], paths[12])
+
+			c := NewGridCache()
+			c.SetDiskDir(dir)
+			before := EngineRunCount()
+			g, err := c.Get(a, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if runs := EngineRunCount() - before; runs != 1 {
+				t.Errorf("recovery ran %d experiments, want 1 (only the damaged cell)", runs)
+			}
+			if gridRowsJSON(t, g.Rows) != want {
+				t.Error("recovered rows differ from cold reference")
+			}
+			// The recompute must leave a good record behind.
+			warm := NewGridCache()
+			warm.SetDiskDir(dir)
+			before = EngineRunCount()
+			if _, err := warm.Get(a, 0); err != nil {
+				t.Fatal(err)
+			}
+			if runs := EngineRunCount() - before; runs != 0 {
+				t.Errorf("record not repaired: follow-up run recomputed %d cells", runs)
+			}
+		})
+	}
+}
+
+// TestPartialGridRecovery: with half the grid's records corrupted, only
+// the damaged half recomputes, and the mixed loaded/recomputed assembly
+// stays byte-identical to the cold reference (the TestGridDeterminism
+// contract extended to partial disk state).
+func TestPartialGridRecovery(t *testing.T) {
+	a := fastAxes()
+	cold, err := RunGrid(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	seedCellRecords(t, dir, a)
+	paths := cellRecordPaths(dir, a)
+	for i, path := range paths {
+		if i%2 == 1 {
+			if err := os.WriteFile(path, []byte("{corrupt"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	c := NewGridCache()
+	c.SetDiskDir(dir)
+	before := EngineRunCount()
+	g, err := c.Get(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs := EngineRunCount() - before; runs != int64(len(paths)/2) {
+		t.Errorf("partial recovery ran %d experiments, want %d (the corrupt half)", runs, len(paths)/2)
+	}
+	if gridRowsJSON(t, g.Rows) != gridRowsJSON(t, cold.Rows) {
+		t.Error("partially recovered grid not byte-identical to cold reference")
+	}
+}
+
+// TestUnwritableCacheDirDegrades: a cache directory that cannot be
+// created degrades the store to persistence-off after the first failed
+// write — the run still succeeds, later cells and later grids skip the
+// store instead of retrying the failing write, and SetDiskDir to a good
+// directory re-enables persistence.
+func TestUnwritableCacheDirDegrades(t *testing.T) {
+	parent := t.TempDir()
+	blocker := filepath.Join(parent, "blocker")
+	if err := os.WriteFile(blocker, []byte("a file where a directory is needed"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	unwritable := filepath.Join(blocker, "cache") // MkdirAll must fail
+
+	c := NewGridCache()
+	c.SetDiskDir(unwritable)
+	if c.DiskDir() != unwritable {
+		t.Fatalf("DiskDir = %q before any write", c.DiskDir())
+	}
+	if _, err := c.Get(fastAxes(), 0); err != nil {
+		t.Fatalf("unwritable cache dir failed the run: %v", err)
+	}
+	if c.DiskDir() != "" {
+		t.Error("store did not degrade to persistence-off after write failure")
+	}
+
+	// A second grid on the degraded store must not attempt writes at all:
+	// removing the blocker would now let writes succeed, so the absence
+	// of records proves the store stayed off.
+	if err := os.Remove(blocker); err != nil {
+		t.Fatal(err)
+	}
+	sub := subAxes()
+	if _, err := c.Get(sub, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(unwritable); !os.IsNotExist(err) {
+		t.Errorf("degraded store still wrote to disk (stat err = %v)", err)
+	}
+
+	// Re-pointing the store clears the degrade.
+	good := t.TempDir()
+	c.SetDiskDir(good)
+	c.Purge()
+	if _, err := c.Get(sub, 0); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Error("SetDiskDir did not re-enable persistence")
+	}
+}
+
+// TestDegradeWarnsOnce: however many writes fail, the process emits a
+// single stderr warning — not one per cell or per grid.
+func TestDegradeWarnsOnce(t *testing.T) {
+	var buf bytes.Buffer
+	persistWarnOnce = sync.Once{}
+	persistWarnW = &buf
+	defer func() { persistWarnW = os.Stderr }()
+
+	parent := t.TempDir()
+	blocker := filepath.Join(parent, "blocker")
+	if err := os.WriteFile(blocker, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ { // two caches degrade independently
+		c := NewGridCache()
+		c.SetDiskDir(filepath.Join(blocker, "cache"))
+		if _, err := c.Get(fastAxes(), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warnings := strings.Count(buf.String(), "\n")
+	if warnings != 1 {
+		t.Errorf("%d warnings emitted, want exactly 1:\n%s", warnings, buf.String())
+	}
+	if !strings.Contains(buf.String(), "continuing without persistence") {
+		t.Errorf("warning text: %q", buf.String())
+	}
+}
+
+// TestCacheStatsCounters: the process-wide counters attribute every
+// requested cell to memo, disk, or engine execution.
+func TestCacheStatsCounters(t *testing.T) {
+	dir := t.TempDir()
+	a := fastAxes() // 16 cells
+	n := int64(a.Size())
+
+	c := NewGridCache()
+	c.SetDiskDir(dir)
+	base := ReadCacheStats()
+	if _, err := c.Get(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	d := ReadCacheStats().Since(base)
+	if d.CellsRequested != n || d.CellsFromMemo != 0 || d.CellsFromDisk != 0 || d.EngineRuns != n {
+		t.Errorf("cold run stats = %v, want cells=%d memo=0 disk=0 engine-runs=%d", d, n, n)
+	}
+
+	base = ReadCacheStats()
+	if _, err := c.Get(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	d = ReadCacheStats().Since(base)
+	if d.CellsRequested != n || d.CellsFromMemo != n || d.CellsFromDisk != 0 || d.EngineRuns != 0 {
+		t.Errorf("memo-warm stats = %v, want cells=%d memo=%d disk=0 engine-runs=0", d, n, n)
+	}
+
+	fresh := NewGridCache()
+	fresh.SetDiskDir(dir)
+	base = ReadCacheStats()
+	if _, err := fresh.Get(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	d = ReadCacheStats().Since(base)
+	if d.CellsRequested != n || d.CellsFromMemo != 0 || d.CellsFromDisk != n || d.EngineRuns != 0 {
+		t.Errorf("disk-warm stats = %v, want cells=%d memo=0 disk=%d engine-runs=0", d, n, n)
+	}
+	if got, want := d.String(), "cells=16 memo=0 disk=16 engine-runs=0"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestCellFingerprintIsGridIndependent: the same physical cell carries
+// the same fingerprint whether enumerated by a superset grid or a
+// sub-grid — the invariant behind cross-grid reuse.
+func TestCellFingerprintIsGridIndependent(t *testing.T) {
+	super := fastAxes().normalized()
+	sub := subAxes().normalized()
+
+	fps := make(map[string]bool)
+	for _, c := range super.Cells() {
+		fps[cellFingerprint(super.experiment(c))] = true
+	}
+	for _, c := range sub.Cells() {
+		fp := cellFingerprint(sub.experiment(c))
+		if !fps[fp] {
+			t.Errorf("sub-grid cell %+v fingerprint %q not produced by superset", c, fp)
+		}
+	}
+}

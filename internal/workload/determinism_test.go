@@ -114,6 +114,26 @@ func TestSweepDeterminism(t *testing.T) {
 			}
 			return r.Rows, nil
 		}},
+		{"mixed cell-store assembly (half the plane pre-seeded)", func() ([]SweepRow, error) {
+			// Pre-compute a sub-sweep so the cell store holds half the
+			// cells, then assemble the full sweep from loaded + fresh
+			// cells — the incremental planner's mixed path.
+			dir := t.TempDir()
+			subCfg := cfg
+			subCfg.ParallelFlows = cfg.ParallelFlows[:1]
+			seeder := NewSweepCache()
+			seeder.SetDiskDir(dir)
+			if _, err := seeder.Get(subCfg, 0); err != nil {
+				return nil, err
+			}
+			mixed := NewSweepCache()
+			mixed.SetDiskDir(dir)
+			r, err := mixed.Get(cfg, 0)
+			if err != nil {
+				return nil, err
+			}
+			return r.Rows, nil
+		}},
 	}
 	for _, d := range drivers {
 		rows, err := d.run()

@@ -1,14 +1,15 @@
 package workload
 
-// Disk persistence for the sweep/grid caches: rows serialized as
-// version-stamped JSON envelopes under a cache directory (by default
-// ~/.cache/repro/sweeps), keyed by config fingerprint, so repeated CLI
-// invocations (cmd/figgen, cmd/ssslab, cmd/streamdecide) skip
-// recomputation across processes, not just within one. The layer is
-// corruption-tolerant — any unreadable, truncated, version-mismatched or
-// foreign file is treated as a miss and recomputed — and sits under the
-// in-memory caches' single-flight entries, so concurrent lookups of one
-// fingerprint do one disk read (or one compute plus one write).
+// Disk-envelope plumbing for the cell store: version-stamped JSON
+// records under a cache directory (by default ~/.cache/repro/sweeps),
+// keyed by fingerprint, so repeated CLI invocations (cmd/figgen,
+// cmd/ssslab, cmd/streamdecide) skip recomputation across processes, not
+// just within one. The layer is corruption-tolerant — any unreadable,
+// truncated, version-mismatched or foreign file is treated as a miss and
+// recomputed — and sits under the in-memory caches' single-flight
+// entries via the per-cell store (cellstore.go), which owns the record
+// format, the fingerprint scheme, and the degrade-on-write-failure
+// policy.
 
 import (
 	"crypto/sha256"
@@ -18,11 +19,6 @@ import (
 	"os"
 	"path/filepath"
 )
-
-// DiskCacheVersion stamps every cache file. Bump it whenever the row
-// schema or the simulation dynamics change: stale files then miss on the
-// version check and are rewritten after recompute.
-const DiskCacheVersion = "repro-sweeps/v1"
 
 // cacheDirEnv overrides the default disk cache location, so CI runs in a
 // hermetic temp dir and never reads a stale developer cache.
@@ -63,6 +59,7 @@ func ResolveCacheDir(flagValue string) (string, error) {
 	case "":
 		dir, err := DefaultDiskCacheDir()
 		if err != nil {
+			warnPersistenceOff(err)
 			return "", nil
 		}
 		return dir, nil
@@ -79,11 +76,12 @@ func diskPath(dir, fingerprint string) string {
 	return filepath.Join(dir, hex.EncodeToString(sum[:16])+".json")
 }
 
-// diskLoad reads the cached payload for a fingerprint into out.
-// It reports false — a miss, never an error — on any defect: missing
-// file, truncated or corrupt JSON, version or fingerprint mismatch.
-// Defective files are removed so the following store rewrites them.
-func diskLoad(dir, fingerprint string, out any) bool {
+// diskLoad reads the payload stored for a fingerprint under the given
+// record version into out. It reports false — a miss, never an error —
+// on any defect: missing file, truncated or corrupt JSON, version or
+// fingerprint mismatch. Defective files are removed so the following
+// store rewrites them.
+func diskLoad(dir, version, fingerprint string, out any) bool {
 	if dir == "" {
 		return false
 	}
@@ -94,7 +92,7 @@ func diskLoad(dir, fingerprint string, out any) bool {
 	}
 	var env diskEnvelope
 	if err := json.Unmarshal(data, &env); err != nil ||
-		env.Version != DiskCacheVersion ||
+		env.Version != version ||
 		env.Fingerprint != fingerprint ||
 		json.Unmarshal(env.Payload, out) != nil {
 		os.Remove(path)
@@ -105,7 +103,7 @@ func diskLoad(dir, fingerprint string, out any) bool {
 
 // diskStore atomically writes the payload for a fingerprint
 // (temp file + rename, so readers never observe a partial write).
-func diskStore(dir, fingerprint string, payload any) error {
+func diskStore(dir, version, fingerprint string, payload any) error {
 	if dir == "" {
 		return nil
 	}
@@ -114,7 +112,7 @@ func diskStore(dir, fingerprint string, payload any) error {
 		return fmt.Errorf("workload: encoding cache payload: %w", err)
 	}
 	data, err := json.Marshal(diskEnvelope{
-		Version:     DiskCacheVersion,
+		Version:     version,
 		Fingerprint: fingerprint,
 		Payload:     raw,
 	})
@@ -124,7 +122,7 @@ func diskStore(dir, fingerprint string, payload any) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("workload: creating cache dir: %w", err)
 	}
-	tmp, err := os.CreateTemp(dir, ".sweep-*.tmp")
+	tmp, err := os.CreateTemp(dir, ".cell-*.tmp")
 	if err != nil {
 		return fmt.Errorf("workload: creating cache temp file: %w", err)
 	}

@@ -18,10 +18,31 @@ func rowsJSON(t *testing.T, rows []SweepRow) string {
 	return string(b)
 }
 
+// gridRowsJSON encodes grid rows for byte-identity comparison.
+func gridRowsJSON(t *testing.T, rows []GridRow) string {
+	t.Helper()
+	b, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// cellRecordPaths returns the on-disk record path of every cell of the
+// grid, in cell order.
+func cellRecordPaths(dir string, a Axes) []string {
+	a = a.normalized()
+	paths := make([]string, 0, a.Size())
+	for _, c := range a.Cells() {
+		paths = append(paths, diskPath(dir, cellFingerprint(a.experiment(c))))
+	}
+	return paths
+}
+
 // TestDiskCacheWarmSweep is the disk-persistence contract: a second
 // cache (a fresh process, in effect) pointed at the same directory
-// serves the sweep entirely from disk — zero engine runs — and the
-// loaded rows are byte-identical to the computed ones.
+// serves the sweep entirely from cell records — zero engine runs — and
+// the loaded rows are byte-identical to the computed ones.
 func TestDiskCacheWarmSweep(t *testing.T) {
 	dir := t.TempDir()
 	cfg := fastSweep()
@@ -32,8 +53,11 @@ func TestDiskCacheWarmSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := os.Stat(diskPath(dir, cfg.Fingerprint())); err != nil {
-		t.Fatalf("cache file not written: %v", err)
+	// One record per cell, addressable by cell fingerprint.
+	for i, path := range cellRecordPaths(dir, AxesFromSweep(cfg)) {
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("cell %d record not written: %v", i, err)
+		}
 	}
 
 	warm := NewSweepCache()
@@ -76,134 +100,125 @@ func TestDiskCacheWarmGrid(t *testing.T) {
 	if runs := EngineRunCount() - before; runs != 0 {
 		t.Fatalf("warm disk path ran %d experiments, want 0", runs)
 	}
-	firstJSON, _ := json.Marshal(first.Rows)
-	secondJSON, _ := json.Marshal(second.Rows)
-	if string(firstJSON) != string(secondJSON) {
+	if gridRowsJSON(t, first.Rows) != gridRowsJSON(t, second.Rows) {
 		t.Fatal("disk-loaded grid rows not byte-identical to computed rows")
 	}
 }
 
-// corruptionCases mangles a valid cache file in every way the loader
-// must tolerate.
-var corruptionCases = map[string]func(t *testing.T, path string){
-	"garbage": func(t *testing.T, path string) {
-		if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
-			t.Fatal(err)
-		}
-	},
-	"truncated": func(t *testing.T, path string) {
-		data, err := os.ReadFile(path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
-			t.Fatal(err)
-		}
-	},
-	"empty": func(t *testing.T, path string) {
-		if err := os.WriteFile(path, nil, 0o644); err != nil {
-			t.Fatal(err)
-		}
-	},
-	"version mismatch": func(t *testing.T, path string) {
-		data, err := os.ReadFile(path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		var env diskEnvelope
-		if err := json.Unmarshal(data, &env); err != nil {
-			t.Fatal(err)
-		}
-		env.Version = "repro-sweeps/v0-ancient"
-		out, err := json.Marshal(env)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(path, out, 0o644); err != nil {
-			t.Fatal(err)
-		}
-	},
-	"fingerprint mismatch": func(t *testing.T, path string) {
-		data, err := os.ReadFile(path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		var env diskEnvelope
-		if err := json.Unmarshal(data, &env); err != nil {
-			t.Fatal(err)
-		}
-		env.Fingerprint = "grid;someone-elses-config"
-		out, err := json.Marshal(env)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(path, out, 0o644); err != nil {
-			t.Fatal(err)
-		}
-	},
-	"payload wrong shape": func(t *testing.T, path string) {
-		data, err := os.ReadFile(path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		var env diskEnvelope
-		if err := json.Unmarshal(data, &env); err != nil {
-			t.Fatal(err)
-		}
-		env.Payload = json.RawMessage(`[1, 2, 3]`)
-		out, err := json.Marshal(env)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(path, out, 0o644); err != nil {
-			t.Fatal(err)
-		}
-	},
+// subAxes shrinks fastAxes (2 conc × 2 P × 2 RTTs × 2 buffers, 16
+// cells) to a strictly contained sub-grid: 1 conc × 2 P × 1 RTT × 1
+// buffer = 2 cells, every axis value drawn from the superset's.
+func subAxes() Axes {
+	a := fastAxes()
+	a.Concurrencies = a.Concurrencies[1:] // {6}
+	a.RTTs = a.RTTs[1:]                   // {32ms}
+	a.Buffers = a.Buffers[1:]             // {2MB}
+	return a
 }
 
-// TestDiskCacheCorruptionFallsBack: every class of defective cache file
-// is treated as a miss — the sweep recomputes, produces correct rows,
-// and rewrites a good file.
-func TestDiskCacheCorruptionFallsBack(t *testing.T) {
-	cfg := fastSweep()
-	want, err := RunSweep(cfg)
+// TestSubGridWarmFromSuperset is the PR's acceptance criterion: a
+// sub-grid whose axis values are a subset of a previously-run grid's is
+// served entirely from the superset's cell records — zero engine runs —
+// and its rows are byte-identical to a cold serial RunGrid of the same
+// Axes.
+func TestSubGridWarmFromSuperset(t *testing.T) {
+	dir := t.TempDir()
+
+	super := NewGridCache()
+	super.SetDiskDir(dir)
+	if _, err := super.Get(fastAxes(), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	sub := subAxes()
+	cold, err := RunGrid(sub) // the reference: cold serial, no caches
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantJSON := rowsJSON(t, want.Rows)
 
-	for name, corrupt := range corruptionCases {
-		t.Run(name, func(t *testing.T) {
-			dir := t.TempDir()
-			seeder := NewSweepCache()
-			seeder.SetDiskDir(dir)
-			if _, err := seeder.Get(cfg, 0); err != nil {
-				t.Fatal(err)
-			}
-			path := diskPath(dir, cfg.Fingerprint())
-			corrupt(t, path)
+	fresh := NewGridCache()
+	fresh.SetDiskDir(dir)
+	before := EngineRunCount()
+	warm, err := fresh.Get(sub, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs := EngineRunCount() - before; runs != 0 {
+		t.Fatalf("sub-grid ran %d experiments, want 0 (all cells in superset records)", runs)
+	}
+	if gridRowsJSON(t, warm.Rows) != gridRowsJSON(t, cold.Rows) {
+		t.Fatal("sub-grid assembled from superset records not byte-identical to cold serial RunGrid")
+	}
+}
 
-			c := NewSweepCache()
-			c.SetDiskDir(dir)
-			before := EngineRunCount()
-			res, err := c.Get(cfg, 0)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if EngineRunCount() == before {
-				t.Error("defective cache file served without recompute")
-			}
-			if rowsJSON(t, res.Rows) != wantJSON {
-				t.Error("recomputed rows differ from reference")
-			}
-			// The recompute must leave a good file behind.
-			var reloaded SweepResult
-			if !diskLoad(dir, cfg.Fingerprint(), &reloaded) {
-				t.Error("cache file not repaired after recompute")
-			} else if rowsJSON(t, reloaded.Rows) != wantJSON {
-				t.Error("repaired cache file holds wrong rows")
-			}
-		})
+// TestOverlappingGridReusesSharedCells: a second grid that only partially
+// overlaps the first runs the engine exactly for the cells it does not
+// share.
+func TestOverlappingGridReusesSharedCells(t *testing.T) {
+	dir := t.TempDir()
+
+	first := fastAxes()
+	first.Buffers = first.Buffers[:1] // 2 conc × 2 P × 2 RTTs × 1 buffer = 8 cells
+	c1 := NewGridCache()
+	c1.SetDiskDir(dir)
+	if _, err := c1.Get(first, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	second := fastAxes()
+	second.Buffers = second.Buffers[1:] // disjoint buffer axis
+	second.RTTs = second.RTTs[:1]       // 2 conc × 2 P × 1 RTT × 1 buffer = 4 cells
+	overlap := fastAxes()               // superset of both: 16 cells
+
+	c2 := NewGridCache()
+	c2.SetDiskDir(dir)
+	if _, err := c2.Get(second, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// The full grid now misses only the cells neither prior grid covered:
+	// 16 − 8 (first) − 4 (second) = 4.
+	c3 := NewGridCache()
+	c3.SetDiskDir(dir)
+	before := EngineRunCount()
+	g, err := c3.Get(overlap, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs := EngineRunCount() - before; runs != 4 {
+		t.Fatalf("overlapping grid ran %d experiments, want 4 (12 of 16 cells already stored)", runs)
+	}
+	// And the mixed cached/fresh assembly must still be bit-identical.
+	cold, err := RunGrid(overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gridRowsJSON(t, g.Rows) != gridRowsJSON(t, cold.Rows) {
+		t.Fatal("mixed cached/fresh assembly not byte-identical to cold serial RunGrid")
+	}
+}
+
+// TestSweepSharesCellsWithGrid: sweeps persist through the same cell
+// store, so a grid containing a previously-run sweep's plane reuses its
+// cells (and vice versa).
+func TestSweepSharesCellsWithGrid(t *testing.T) {
+	dir := t.TempDir()
+	cfg := fastSweep()
+
+	sc := NewSweepCache()
+	sc.SetDiskDir(dir)
+	if _, err := sc.Get(cfg, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	gc := NewGridCache()
+	gc.SetDiskDir(dir)
+	before := EngineRunCount()
+	if _, err := gc.Get(AxesFromSweep(cfg), 0); err != nil {
+		t.Fatal(err)
+	}
+	if runs := EngineRunCount() - before; runs != 0 {
+		t.Fatalf("grid over a cached sweep's plane ran %d experiments, want 0", runs)
 	}
 }
 
@@ -243,7 +258,7 @@ func TestDiskCacheSingleFlight(t *testing.T) {
 }
 
 // TestDiskCacheKeepClientResultsNotPersisted: sweeps that pin full
-// client results stay memory-only.
+// client results stay memory-only — not a single cell record is written.
 func TestDiskCacheKeepClientResultsNotPersisted(t *testing.T) {
 	dir := t.TempDir()
 	cfg := fastSweep()
@@ -253,8 +268,12 @@ func TestDiskCacheKeepClientResultsNotPersisted(t *testing.T) {
 	if _, err := c.Get(cfg, 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := os.Stat(diskPath(dir, cfg.Fingerprint())); !os.IsNotExist(err) {
-		t.Errorf("KeepClientResults sweep persisted to disk (stat err = %v)", err)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("KeepClientResults sweep persisted %d files to disk, want 0", len(entries))
 	}
 }
 

@@ -12,6 +12,7 @@ package workload
 
 import (
 	"fmt"
+	"hash/fnv"
 	"runtime"
 	"strconv"
 	"strings"
@@ -177,9 +178,43 @@ func (a Axes) Cells() []GridCell {
 
 // netSeedStride separates the seed ranges of distinct network points, so
 // every cell of the grid gets an independent loss-randomization seed.
-// NetIndex 0 reduces to the Table 2 sweep's seed formula exactly, which
-// is what keeps AxesFromSweep grids bit-identical to RunSweep.
 const netSeedStride = 1_000_003
+
+// netPointSeedOffset returns the seed offset of a cell's network point.
+// The offset is intrinsic to the point's coordinates relative to the
+// base Net — never to the point's position within any particular Axes —
+// so the same cell carries the same seed in every grid that contains it.
+// That invariance is what lets the cell store serve a sub-grid from a
+// superset grid's records bit-identically to a cold run of the sub-grid.
+// Two anchors:
+//
+//   - The base network point (RTT, buffer, CC and cross fraction all
+//     equal to the Net's own values) has offset 0, so AxesFromSweep
+//     grids keep the Table 2 sweep's seed formula exactly and stay
+//     bit-identical to RunSweep.
+//   - Transfer size never enters the seed — the sweep formula has no
+//     size term, and the grid preserves that property: cells differing
+//     only in size deliberately share their loss-randomization stream,
+//     like re-running one testbed configuration with more data.
+func (a Axes) netPointSeedOffset(c GridCell) int64 {
+	if c.RTT == a.Net.BaseRTT && c.Buffer == a.Net.Buffer &&
+		c.CC == a.Net.CC && c.CrossFraction == a.Net.Cross.Fraction {
+		return 0
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "rtt=%d;buf=%s;cc=%d;cross=%s",
+		int64(c.RTT), strconv.FormatFloat(float64(c.Buffer), 'g', -1, 64),
+		int(c.CC), strconv.FormatFloat(c.CrossFraction, 'g', -1, 64))
+	// Spread offsets at least netSeedStride apart so they cannot collide
+	// with the Table 2 plane's conc*100+P term; +1 keeps every non-base
+	// point away from the base point's 0. Unlike the old NetIndex scheme,
+	// hashed offsets can in principle collide across points — the 2⁴²
+	// range keeps that below ~10⁻⁵ even for a 10⁴-point grid (a
+	// collision would correlate two cells' loss randomization, never
+	// corrupt results or the cache), and any grid-aware resolution would
+	// reintroduce the position dependence this function exists to remove.
+	return int64(h.Sum64()%(1<<42)+1) * netSeedStride
+}
 
 // experiment lowers one cell to a runnable Experiment with its
 // deterministic per-cell seed.
@@ -189,7 +224,7 @@ func (a Axes) experiment(c GridCell) Experiment {
 	net.Buffer = c.Buffer
 	net.CC = c.CC
 	net.Cross.Fraction = c.CrossFraction
-	net.Seed = a.Net.Seed + int64(c.Concurrency*100+c.ParallelFlows) + int64(c.NetIndex)*netSeedStride
+	net.Seed = a.Net.Seed + int64(c.Concurrency*100+c.ParallelFlows) + a.netPointSeedOffset(c)
 	return Experiment{
 		Duration:      a.Duration,
 		Concurrency:   c.Concurrency,
@@ -312,14 +347,29 @@ func RunGridParallel(a Axes, workers int) (*GridResult, error) {
 		return nil, err
 	}
 	a = a.normalized()
+	cells := a.Cells()
+	rows := make([]GridRow, len(cells))
+	if err := executeCells(a, cells, rows, workers, nil); err != nil {
+		return nil, err
+	}
+	return &GridResult{Axes: a, Rows: rows}, nil
+}
+
+// executeCells runs the given cells (any subset of a's grid) on an
+// engine-per-worker pool, writing each outcome into rows[c.Index].
+// onRow, when non-nil, is invoked from the worker goroutine after a
+// cell's row is populated — the incremental planner persists freshly
+// computed cell records there, overlapping cache writes with the
+// remaining simulations. Cells are seeded from their own coordinates, so
+// the rows are bit-identical for any worker count and any cell subset.
+// workers <= 0 selects GOMAXPROCS.
+func executeCells(a Axes, cells []GridCell, rows []GridRow, workers int, onRow func(GridCell)) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	cells := a.Cells()
-	rows := make([]GridRow, len(cells))
 	errs := make([]error, len(cells))
 	var wg sync.WaitGroup
-	work := make(chan GridCell)
+	work := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -327,15 +377,19 @@ func RunGridParallel(a Axes, workers int) (*GridResult, error) {
 			// One engine per worker: cells share its buffers, so the
 			// congestion loop allocates nothing after the first cell.
 			eng := tcpsim.NewEngine()
-			for c := range work {
+			for i := range work {
+				c := cells[i]
 				row, err := runExperimentRow(a.experiment(c), a.KeepClientResults, eng)
 				rows[c.Index] = GridRow{Cell: c, SweepRow: row}
-				errs[c.Index] = err
+				errs[i] = err
+				if err == nil && onRow != nil {
+					onRow(c)
+				}
 			}
 		}()
 	}
-	for _, c := range cells {
-		work <- c
+	for i := range cells {
+		work <- i
 	}
 	close(work)
 	wg.Wait()
@@ -343,22 +397,21 @@ func RunGridParallel(a Axes, workers int) (*GridResult, error) {
 	for i, err := range errs {
 		if err != nil {
 			c := cells[i]
-			return nil, fmt.Errorf("workload: grid cell %d (conc=%d P=%d size=%v rtt=%v buf=%v cc=%v cross=%g): %w",
+			return fmt.Errorf("workload: grid cell %d (conc=%d P=%d size=%v rtt=%v buf=%v cc=%v cross=%g): %w",
 				c.Index, c.Concurrency, c.ParallelFlows, c.TransferSize, c.RTT, c.Buffer, c.CC, c.CrossFraction, err)
 		}
 	}
-	return &GridResult{Axes: a, Rows: rows}, nil
+	return nil
 }
 
-// runSweepViaGrid computes a Table 2 sweep through the grid executor —
-// the path RunSweepCached takes, so the figure pipeline and the CLIs all
-// exercise the grid API. Bit-identical to RunSweep/RunSweepParallel
-// (enforced by TestSweepDeterminism's cached driver).
-func runSweepViaGrid(cfg SweepConfig, workers int) (*SweepResult, error) {
-	if len(cfg.Concurrencies) == 0 || len(cfg.ParallelFlows) == 0 {
-		return nil, fmt.Errorf("workload: empty sweep axes")
-	}
-	g, err := RunGridParallel(AxesFromSweep(cfg), workers)
+// runSweepViaGrid computes a Table 2 sweep through the incremental grid
+// pipeline — the path SweepCache.Get takes, so the figure pipeline and
+// the CLIs all exercise the planner and cell store. Bit-identical to
+// RunSweep/RunSweepParallel (enforced by TestSweepDeterminism's cached
+// driver). Empty axes are rejected by the caller (SweepCache.Get)
+// before the memo entry is created.
+func runSweepViaGrid(cfg SweepConfig, workers int, store *cellStore) (*SweepResult, error) {
+	g, err := runGridIncremental(AxesFromSweep(cfg), workers, store)
 	if err != nil {
 		return nil, err
 	}

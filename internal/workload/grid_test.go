@@ -2,6 +2,7 @@ package workload
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -227,11 +228,31 @@ func TestGridDeterminism(t *testing.T) {
 	if encode(cached.Rows) != want {
 		t.Error("cached grid rows not byte-identical to serial RunGrid")
 	}
+
+	// Mixed cached/fresh assembly: pre-seed the cell store with a
+	// sub-grid, then assemble the full grid from loaded + freshly
+	// executed cells — still byte-identical to the cold serial run.
+	dir := t.TempDir()
+	seeder := NewGridCache()
+	seeder.SetDiskDir(dir)
+	if _, err := seeder.Get(subAxes(), 0); err != nil {
+		t.Fatal(err)
+	}
+	mixed := NewGridCache()
+	mixed.SetDiskDir(dir)
+	g, err := mixed.Get(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if encode(g.Rows) != want {
+		t.Error("mixed cached/fresh grid rows not byte-identical to serial RunGrid")
+	}
 }
 
 // TestGridSeedsVaryAcrossNetPoints guards the per-cell seed derivation:
 // cells at different network points must not reuse loss-randomization
-// seeds, and cells at NetIndex 0 must keep the sweep's formula.
+// seeds, and cells at the base network point (every overridable field
+// equal to the Net's own value) must keep the sweep's formula exactly.
 func TestGridSeedsVaryAcrossNetPoints(t *testing.T) {
 	a := fastAxes()
 	seeds := make(map[int64]GridCell)
@@ -241,15 +262,64 @@ func TestGridSeedsVaryAcrossNetPoints(t *testing.T) {
 			t.Fatalf("cells %+v and %+v share seed %d", prev, c, e.Net.Seed)
 		}
 		seeds[e.Net.Seed] = c
-		if c.NetIndex == 0 {
-			want := a.Net.Seed + int64(c.Concurrency*100+c.ParallelFlows)
-			if e.Net.Seed != want {
-				t.Fatalf("NetIndex 0 seed = %d, want sweep formula %d", e.Net.Seed, want)
-			}
-		}
 		if e.Net.BaseRTT != c.RTT || e.Net.Buffer != c.Buffer || e.Net.CC != c.CC ||
 			e.Net.Cross.Fraction != c.CrossFraction {
 			t.Fatalf("experiment net %+v does not match cell %+v", e.Net, c)
+		}
+	}
+
+	// The base network point reduces to the Table 2 sweep's seed formula
+	// (offset 0) — what keeps AxesFromSweep grids bit-identical to
+	// RunSweep.
+	sweepAxes := AxesFromSweep(fastSweep()).normalized()
+	for _, c := range sweepAxes.Cells() {
+		e := sweepAxes.experiment(c)
+		want := sweepAxes.Net.Seed + int64(c.Concurrency*100+c.ParallelFlows)
+		if e.Net.Seed != want {
+			t.Fatalf("base-point seed = %d, want sweep formula %d", e.Net.Seed, want)
+		}
+	}
+}
+
+// TestGridSeedsAreGridIndependent is the invariant behind cell-granular
+// reuse: a cell's seed is a pure function of its own coordinates and the
+// base Net — never of its position within a particular Axes — so the
+// same cell carries the same seed in a superset grid and a sub-grid.
+// Transfer size deliberately never enters the seed (the sweep formula
+// has no size term), so cells differing only in size share offsets.
+func TestGridSeedsAreGridIndependent(t *testing.T) {
+	super := fastAxes().normalized()
+	sub := subAxes().normalized()
+	superSeeds := make(map[string]int64)
+	key := func(c GridCell) string {
+		return fmt.Sprintf("%v/%v/%v/%g/%d/%d", c.RTT, c.Buffer, c.CC, c.CrossFraction, c.Concurrency, c.ParallelFlows)
+	}
+	for _, c := range super.Cells() {
+		superSeeds[key(c)] = super.experiment(c).Net.Seed
+	}
+	for _, c := range sub.Cells() {
+		want, ok := superSeeds[key(c)]
+		if !ok {
+			t.Fatalf("sub-grid cell %+v absent from superset", c)
+		}
+		if got := sub.experiment(c).Net.Seed; got != want {
+			t.Errorf("cell %+v: sub-grid seed %d != superset seed %d", c, got, want)
+		}
+	}
+
+	// Size-only variation shares the offset: same network deviation, same
+	// Table 2 coordinates, different size ⇒ same seed.
+	multi := fastAxes()
+	multi.TransferSizes = []units.ByteSize{0.25 * units.GB, 0.5 * units.GB}
+	multi = multi.normalized()
+	bySize := make(map[string][]int64)
+	for _, c := range multi.Cells() {
+		k := key(c)
+		bySize[k] = append(bySize[k], multi.experiment(c).Net.Seed)
+	}
+	for k, seeds := range bySize {
+		if len(seeds) != 2 || seeds[0] != seeds[1] {
+			t.Errorf("cells at %s across sizes have seeds %v, want equal", k, seeds)
 		}
 	}
 }

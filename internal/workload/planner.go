@@ -1,0 +1,87 @@
+package workload
+
+// The incremental grid planner: plan → fetch → execute-missing →
+// assemble. Instead of running a requested Axes whole and caching the
+// result as one opaque blob, the planner partitions the grid into cells
+// already present in the cell store (loaded — zero engine runs) and
+// cells that are genuinely missing (executed on the engine-per-worker
+// pool, then stored). Any overlap with any previously computed grid —
+// a sub-grid, a superset, a partially overlapping envelope probe — is
+// reused at cell granularity.
+
+// gridPlan partitions one requested (normalized) grid.
+type gridPlan struct {
+	axes Axes
+	// rows is the full result in grid order; cached cells are pre-filled
+	// by planGrid, missing cells by executeCells.
+	rows []GridRow
+	// missing lists the cells that must execute on the engine pool.
+	missing []GridCell
+	// fps holds the cell fingerprint per grid row index (empty when the
+	// plan does not persist), so freshly computed cells store under the
+	// same key the fetch looked up.
+	fps []string
+	// persist gates the cell store: off when no store is configured or
+	// when rows pin client results (those stay memory-only).
+	persist bool
+}
+
+// planGrid fetches every cached cell of the grid from the store and
+// returns the plan describing what remains. a must be normalized. With
+// persistence off (nil store, no directory, or KeepClientResults) every
+// cell is missing and the plan degenerates to a whole-grid run.
+func planGrid(a Axes, store *cellStore) *gridPlan {
+	cells := a.Cells()
+	p := &gridPlan{
+		axes: a,
+		rows: make([]GridRow, len(cells)),
+		// activeDir also covers a degraded store: with persistence off
+		// the plan skips fingerprinting entirely and degenerates to a
+		// whole-grid run.
+		persist: store != nil && store.activeDir() != "" && !a.KeepClientResults,
+	}
+	if !p.persist {
+		p.missing = cells
+		return p
+	}
+	p.fps = make([]string, len(cells))
+	for _, c := range cells {
+		fp := cellFingerprint(a.experiment(c))
+		p.fps[c.Index] = fp
+		var row SweepRow
+		if store.load(fp, c, &row) {
+			p.rows[c.Index] = GridRow{Cell: c, SweepRow: row}
+			cellsFromDisk.Add(1)
+			continue
+		}
+		p.missing = append(p.missing, c)
+	}
+	return p
+}
+
+// runGridIncremental is the pipeline behind both caches: plan the grid
+// against the cell store, execute only the missing cells, persist each
+// fresh record as its worker finishes it, and assemble the rows in grid
+// order. Bit-identical to RunGridParallel for any store content, any
+// worker count, and any interleaving of prior grids — every cell is
+// independently seeded from its own coordinates, so a loaded record and
+// a recomputed row are the same bytes.
+func runGridIncremental(a Axes, workers int, store *cellStore) (*GridResult, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	a = a.normalized()
+	plan := planGrid(a, store)
+	if len(plan.missing) > 0 {
+		var onRow func(GridCell)
+		if plan.persist {
+			onRow = func(c GridCell) {
+				store.store(plan.fps[c.Index], plan.rows[c.Index].SweepRow)
+			}
+		}
+		if err := executeCells(a, plan.missing, plan.rows, workers, onRow); err != nil {
+			return nil, err
+		}
+	}
+	return &GridResult{Axes: a, Rows: plan.rows}, nil
+}
