@@ -14,9 +14,9 @@
 // behavior, machine-independent) drifts from the tracked report by more
 // than the relative tolerance -tol. CI uses this (scripts/benchcmp.sh)
 // to catch silent changes to the sweep dynamics — and, via
-// grid_subgrid_warm's engine_runs = 0, any regression of the cell
-// store's sub-grid reuse guarantee; timings are never compared, so the
-// gate is noise-free.
+// grid_subgrid_warm's and grid_segment_warm's engine_runs = 0, any
+// regression of the cell store's sub-grid reuse or segment warm-open
+// guarantees; timings are never compared, so the gate is noise-free.
 package main
 
 import (
@@ -262,6 +262,38 @@ func run(args []string, out io.Writer) error {
 		}
 	}))
 
+	// The segment store's headline path: the whole superset grid
+	// warm-opened from a compacted segment file the way a fresh process
+	// would — index sidecar load plus parallel record fetch — with
+	// engine_runs gated at 0 by -compare, so any regression of the
+	// segment round-trip fails the bench gate.
+	if _, err := workload.CompactDiskCache(cellDir); err != nil {
+		return err
+	}
+	workload.ResetSegmentStores()
+	before = workload.EngineRunCount()
+	segCache := workload.NewGridCache()
+	segCache.SetDiskDir(cellDir)
+	segRes, err := segCache.Get(super, 0)
+	if err != nil {
+		return err
+	}
+	segMetrics := gridMetrics(segRes)
+	segMetrics["engine_runs"] = float64(workload.EngineRunCount() - before)
+	report.Results = append(report.Results, measure("grid_segment_warm", segMetrics, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// Reset drops the in-memory index so every iteration pays
+			// the true warm-open cost: open segment, load sidecar,
+			// assemble the grid from record reads.
+			workload.ResetSegmentStores()
+			c := workload.NewGridCache()
+			c.SetDiskDir(cellDir)
+			if _, err := c.Get(super, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
 	if !*quick {
 		paperCfg := experiments.PaperSweep()
 		fig2a, err := experiments.Fig2a(paperCfg)
@@ -320,8 +352,9 @@ func run(args []string, out io.Writer) error {
 
 // deterministicMetrics are the simulation outputs compared by -compare:
 // bit-reproducible across machines and worker counts, unlike timings.
-// engine_runs rides along for grid_subgrid_warm, where the tracked value
-// 0 turns the sub-grid reuse guarantee into a bench-gate invariant.
+// engine_runs rides along for grid_subgrid_warm and grid_segment_warm,
+// where the tracked value 0 turns the sub-grid reuse and segment
+// warm-open guarantees into bench-gate invariants.
 var deterministicMetrics = []string{"sss", "worst_s", "engine_runs"}
 
 // compareReports checks every deterministic metric present in both

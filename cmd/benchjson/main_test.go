@@ -36,6 +36,8 @@ func TestBenchJSONQuick(t *testing.T) {
 		"sweep_quick_parallel": false,
 		"runall_quick_cold":    false,
 		"runall_quick_cached":  false,
+		"grid_subgrid_warm":    false,
+		"grid_segment_warm":    false,
 	}
 	for _, e := range rep.Results {
 		if _, ok := want[e.Name]; ok {
@@ -53,6 +55,12 @@ func TestBenchJSONQuick(t *testing.T) {
 		case "sweep_quick_serial", "sweep_quick_parallel":
 			if e.Metrics["worst_s"] <= 0 || e.Metrics["sss"] < 1 {
 				t.Errorf("%s: implausible sweep metrics %v", e.Name, e.Metrics)
+			}
+		case "grid_subgrid_warm", "grid_segment_warm":
+			// The cache invariants the -compare gate tracks at 0: warm
+			// assemblies must never simulate.
+			if runs, ok := e.Metrics["engine_runs"]; !ok || runs != 0 {
+				t.Errorf("%s: engine_runs = %v, want 0", e.Name, e.Metrics["engine_runs"])
 			}
 		}
 	}

@@ -21,13 +21,18 @@
 // Axis flags default to the corresponding single-experiment flag, so
 // `-grid -rtts 8ms,16ms,64ms` sweeps RTT alone. Simulated results are
 // memoized in memory and persisted per cell under -cache-dir (default
-// $CACHE_DIR, else ~/.cache/repro/sweeps), so a repeated invocation —
-// or any sub-grid or overlapping grid of an earlier invocation —
-// recomputes only cells never seen before; pass `-cache-dir off` to
-// disable persistence. With -cache-stats, the run reports how it was
-// served:
+// $CACHE_DIR, else ~/.cache/repro/sweeps) — since repro-cells/v2 in an
+// indexed segment file — so a repeated invocation — or any sub-grid or
+// overlapping grid of an earlier invocation — recomputes only cells
+// never seen before; pass `-cache-dir off` to disable persistence.
+// With -cache-stats, the run reports how it was served:
 //
-//	cache-stats: cells=48 memo=0 disk=48 engine-runs=0
+//	cache-stats: cells=48 memo=0 disk=0 segment=48 engine-runs=0
+//
+// -compact-cache folds loose v1 cell records and dead segment space
+// into a fresh segment file, then exits:
+//
+//	ssslab -compact-cache [-cache-dir DIR]
 //
 // With -portfolio, grid mode replaces the single break-even model with a
 // portfolio summary: every scenario of the JSON portfolio (the
@@ -77,7 +82,9 @@ func run(args []string, out io.Writer) error {
 	cacheDir := fs.String("cache-dir", "",
 		"sweep disk cache directory (default $CACHE_DIR, else ~/.cache/repro/sweeps; \"off\" disables)")
 	cacheStats := fs.Bool("cache-stats", false,
-		"after a sim run, report cells requested / from memo / from disk / engine runs")
+		"after a sim run, report cells requested / from memo / from disk / from segment / engine runs")
+	compactCache := fs.Bool("compact-cache", false,
+		"compact the cell store (fold loose cell records and dead segment space into a fresh segment file), then exit")
 	grid := fs.Bool("grid", false, "sweep a multi-axis scenario grid (sim mode only)")
 	portfolioPath := fs.String("portfolio", "",
 		"grid mode: summarize this JSON portfolio's decisions at every cell (requires -grid)")
@@ -89,6 +96,15 @@ func run(args []string, out io.Writer) error {
 	theta := fs.Float64("theta", 1.0, "break-even model: file I/O overhead coefficient")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *compactCache {
+		// Refuse every run-shaped flag rather than silently dropping it
+		// — the same rule -cache-stats follows outside grid mode.
+		if *grid || *portfolioPath != "" || *mode == "live" || *cacheStats || *csvPath != "" {
+			return fmt.Errorf("-compact-cache is a standalone maintenance mode (usage: ssslab -compact-cache [-cache-dir DIR]; drop -grid/-portfolio/-mode live/-cache-stats/-csv)")
+		}
+		return scenario.RunCompactCache(out, *cacheDir)
 	}
 
 	switch *mode {
@@ -151,7 +167,7 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("-grid/-portfolio are sim-mode only (live loopback has no scenario axes)")
 		}
 		if *cacheStats {
-			return fmt.Errorf("-cache-stats is sim-mode only (live loopback never touches the sweep caches)")
+			return fmt.Errorf("-cache-stats is sim-mode only (usage: ssslab [-grid] -cache-stats ...; live loopback never touches the sweep caches)")
 		}
 		size := 8 * units.MB
 		if *sizeStr != "" {

@@ -171,7 +171,7 @@ func TestCacheStats(t *testing.T) {
 	if err := run(append(gridArgs(dir), "-cache-stats"), &cold); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(cold.String(), "cache-stats: cells=8 memo=0 disk=0 engine-runs=8") {
+	if !strings.Contains(cold.String(), "cache-stats: cells=8 memo=0 disk=0 segment=0 engine-runs=8") {
 		t.Errorf("cold stats line missing:\n%s", cold.String())
 	}
 
@@ -191,8 +191,77 @@ func TestCacheStats(t *testing.T) {
 	if runs := workload.EngineRunCount() - before; runs != 0 {
 		t.Errorf("sub-grid ran %d experiments, want 0", runs)
 	}
-	if !strings.Contains(warm.String(), "cache-stats: cells=2 memo=0 disk=2 engine-runs=0") {
+	if !strings.Contains(warm.String(), "cache-stats: cells=2 memo=0 disk=0 segment=2 engine-runs=0") {
 		t.Errorf("warm sub-grid stats line missing:\n%s", warm.String())
+	}
+}
+
+// TestCacheStatsLiveModeUsageError: -cache-stats outside sim mode must
+// error with a usage message, not silently ignore the flag.
+func TestCacheStatsLiveModeUsageError(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-mode", "live", "-cache-stats"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "usage:") {
+		t.Errorf("live -cache-stats error = %v, want usage message", err)
+	}
+}
+
+// TestCompactCache: -compact-cache rewrites a seeded directory into a
+// segment file + sidecar and a subsequent warm grid run is served
+// entirely from the compacted segment.
+func TestCompactCache(t *testing.T) {
+	dir := t.TempDir()
+	workload.PurgeSweepCache()
+	workload.PurgeGridCache()
+
+	var cold strings.Builder
+	if err := run(gridArgs(dir), &cold); err != nil {
+		t.Fatal(err)
+	}
+
+	var summary strings.Builder
+	if err := run([]string{"-compact-cache", "-cache-dir", dir}, &summary); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary.String(), "compacted") || !strings.Contains(summary.String(), "8 records") {
+		t.Errorf("compaction summary: %q", summary.String())
+	}
+	for _, name := range []string{"cells.seg", "cells.idx"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("%s missing after compaction: %v", name, err)
+		}
+	}
+
+	workload.PurgeSweepCache()
+	workload.PurgeGridCache()
+	workload.ResetSegmentStores()
+	var warm strings.Builder
+	if err := run(append(gridArgs(dir), "-cache-stats"), &warm); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warm.String(), "cache-stats: cells=8 memo=0 disk=0 segment=8 engine-runs=0") {
+		t.Errorf("post-compaction warm stats missing:\n%s", warm.String())
+	}
+}
+
+// TestCompactCacheFlagConflicts: -compact-cache is standalone.
+func TestCompactCacheFlagConflicts(t *testing.T) {
+	for _, args := range [][]string{
+		{"-compact-cache", "-grid"},
+		{"-compact-cache", "-portfolio", "x.json"},
+		{"-compact-cache", "-mode", "live"},
+		{"-compact-cache", "-cache-stats"},
+		{"-compact-cache", "-csv", "out.csv"},
+	} {
+		var out strings.Builder
+		if err := run(args, &out); err == nil || !strings.Contains(err.Error(), "usage:") {
+			t.Errorf("run(%v) error = %v, want standalone-mode usage error", args, err)
+		}
+	}
+	// And with persistence off there is nothing to compact.
+	var out strings.Builder
+	if err := run([]string{"-compact-cache", "-cache-dir", "off"}, &out); err == nil {
+		t.Error("compact with -cache-dir off succeeded, want error")
 	}
 }
 

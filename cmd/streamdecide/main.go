@@ -29,11 +29,14 @@
 //	             [-csv out.csv] [-json out.json]
 //
 // Grid sweeps are cached on disk per cell under -cache-dir (default
-// $CACHE_DIR, else ~/.cache/repro/sweeps), so a repeated invocation — or
-// any sub-grid or overlapping grid of an earlier one — recomputes only
-// cells never seen before; warm portfolio runs perform zero simulations.
-// Pass -cache-stats to see how a grid run was served (cells from memo /
-// disk vs engine runs).
+// $CACHE_DIR, else ~/.cache/repro/sweeps; an indexed segment file since
+// repro-cells/v2), so a repeated invocation — or any sub-grid or
+// overlapping grid of an earlier one — recomputes only cells never seen
+// before; warm portfolio runs perform zero simulations. Pass
+// -cache-stats to see how a grid run was served (cells from memo /
+// loose disk records / the segment file vs engine runs), and
+// -compact-cache to fold loose records and dead segment space into a
+// fresh segment.
 package main
 
 import (
@@ -82,12 +85,22 @@ func run(args []string, out io.Writer) error {
 	cacheDir := fs.String("cache-dir", "",
 		"sweep disk cache directory (default $CACHE_DIR, else ~/.cache/repro/sweeps; \"off\" disables)")
 	cacheStats := fs.Bool("cache-stats", false,
-		"grid mode: report cells requested / from memo / from disk / engine runs after the run")
+		"grid mode: report cells requested / from memo / from disk / from segment / engine runs after the run")
+	compactCache := fs.Bool("compact-cache", false,
+		"compact the cell store (fold loose cell records and dead segment space into a fresh segment file), then exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *compactCache {
+		// Refuse every run-shaped flag rather than silently dropping it
+		// — the same rule -cache-stats follows outside grid mode.
+		if *grid || *portfolioPath != "" || *configPath != "" || *cacheStats || *csvPath != "" || *jsonPath != "" {
+			return fmt.Errorf("-compact-cache is a standalone maintenance mode (usage: streamdecide -compact-cache [-cache-dir DIR]; drop -grid/-portfolio/-config/-cache-stats/-csv/-json)")
+		}
+		return scenario.RunCompactCache(out, *cacheDir)
+	}
 	if *cacheStats && !*grid {
-		return fmt.Errorf("-cache-stats requires -grid (only grid runs touch the sweep caches)")
+		return fmt.Errorf("-cache-stats requires -grid (usage: streamdecide -grid [-cache-stats] ...; only grid runs touch the sweep caches)")
 	}
 	if *grid && *configPath != "" {
 		return fmt.Errorf("-grid and -config are mutually exclusive (a portfolio row has its own transfer rate)")

@@ -203,7 +203,7 @@ func TestCacheStats(t *testing.T) {
 	if err := run(superArgs, &cold); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(cold.String(), "cache-stats: cells=8 memo=0 disk=0 engine-runs=8") {
+	if !strings.Contains(cold.String(), "cache-stats: cells=8 memo=0 disk=0 segment=0 engine-runs=8") {
 		t.Errorf("cold stats line missing:\n%s", cold.String())
 	}
 
@@ -215,8 +215,73 @@ func TestCacheStats(t *testing.T) {
 	if err := run(subArgs, &warm); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(warm.String(), "cache-stats: cells=2 memo=0 disk=2 engine-runs=0") {
+	if !strings.Contains(warm.String(), "cache-stats: cells=2 memo=0 disk=0 segment=2 engine-runs=0") {
 		t.Errorf("warm sub-grid stats line missing:\n%s", warm.String())
+	}
+}
+
+// TestCacheStatsRequiresGrid: -cache-stats outside grid mode errors
+// with a usage message instead of silently dropping the flag.
+func TestCacheStatsRequiresGrid(t *testing.T) {
+	for _, args := range [][]string{
+		{"-cache-stats"},
+		{"-cache-stats", "-config", examplePortfolio},
+	} {
+		var out strings.Builder
+		err := run(args, &out)
+		if err == nil || !strings.Contains(err.Error(), "requires -grid") || !strings.Contains(err.Error(), "usage:") {
+			t.Errorf("run(%v) error = %v, want -grid usage message", args, err)
+		}
+	}
+}
+
+// TestCompactCache: -compact-cache folds a seeded cache into a segment
+// and a warm grid run then reports only segment hits.
+func TestCompactCache(t *testing.T) {
+	dir := t.TempDir()
+	workload.PurgeSweepCache()
+	workload.PurgeGridCache()
+
+	superArgs := []string{"-grid", "-gseconds", "1", "-rtts", "8ms,32ms",
+		"-buffers", "auto,1MB", "-pflows", "2,8", "-cache-dir", dir}
+	var cold strings.Builder
+	if err := run(superArgs, &cold); err != nil {
+		t.Fatal(err)
+	}
+
+	var summary strings.Builder
+	if err := run([]string{"-compact-cache", "-cache-dir", dir}, &summary); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary.String(), "compacted") || !strings.Contains(summary.String(), "8 records") {
+		t.Errorf("compaction summary: %q", summary.String())
+	}
+
+	workload.PurgeSweepCache()
+	workload.PurgeGridCache()
+	workload.ResetSegmentStores()
+	var warm strings.Builder
+	if err := run(append(superArgs, "-cache-stats"), &warm); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warm.String(), "cache-stats: cells=8 memo=0 disk=0 segment=8 engine-runs=0") {
+		t.Errorf("post-compaction warm stats missing:\n%s", warm.String())
+	}
+}
+
+// TestCompactCacheFlagConflicts: -compact-cache is standalone.
+func TestCompactCacheFlagConflicts(t *testing.T) {
+	for _, args := range [][]string{
+		{"-compact-cache", "-grid"},
+		{"-compact-cache", "-portfolio", "x.json", "-grid"},
+		{"-compact-cache", "-config", examplePortfolio},
+		{"-compact-cache", "-cache-stats"},
+		{"-compact-cache", "-json", "out.json"},
+	} {
+		var out strings.Builder
+		if err := run(args, &out); err == nil || !strings.Contains(err.Error(), "usage:") {
+			t.Errorf("run(%v) error = %v, want standalone-mode usage error", args, err)
+		}
 	}
 }
 

@@ -1,0 +1,35 @@
+package scenario
+
+// Cache-maintenance entry point shared by the grid CLIs, next to
+// AxisFlags for the same reason: ssslab and streamdecide must present
+// one cache vocabulary, so the -compact-cache behavior (resolution,
+// error wording, summary format) lives here once.
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// RunCompactCache implements the CLIs' -compact-cache mode: resolve the
+// cache directory the way every grid run does, fold loose v1 cell
+// records and dead segment space into a fresh segment file + index
+// sidecar, and report what was reclaimed.
+func RunCompactCache(out io.Writer, cacheDirFlag string) error {
+	dir, err := workload.ResolveCacheDir(cacheDirFlag)
+	if err != nil {
+		return err
+	}
+	if dir == "" {
+		return fmt.Errorf("-compact-cache needs a cache directory (pass -cache-dir DIR or set $CACHE_DIR; persistence is off)")
+	}
+	st, err := workload.CompactDiskCache(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "compacted %s: %d records in %v segment, %d loose files folded, %v reclaimed\n",
+		dir, st.Records, units.ByteSize(st.SegmentBytes), st.Folded, units.ByteSize(st.ReclaimedBytes))
+	return nil
+}

@@ -11,6 +11,13 @@ package workload
 // computed, and a sub-grid fully contained in a previously-run grid
 // assembles with zero engine runs.
 //
+// Since v2 the records live in an indexed segment file (segstore.go) —
+// one append-only file plus an index sidecar — instead of one JSON file
+// per cell: at 10⁴+ cells the per-file layout spends more time in
+// filesystem metadata than in payload. Loose v1 per-cell files remain
+// readable (migration by miss: a segment miss falls back to the v1
+// file) and are folded into the segment by compaction.
+//
 // The store is corruption-tolerant (any defective record is a miss that
 // recomputes only that cell) and degrades to persistence-off — with a
 // single stderr warning — the first time a write fails, so an unwritable
@@ -26,13 +33,22 @@ import (
 	"sync/atomic"
 )
 
-// CellRecordVersion stamps every cell record on disk. It supersedes the
-// whole-blob DiskCacheVersion of the earlier cache format (old blob
-// files simply never match a cell fingerprint and age out as misses —
-// migration by miss). Bump it whenever the simulation dynamics, the
-// per-cell seed derivation, or the SweepRow schema change: stale records
-// then fail the version check and are recomputed.
-const CellRecordVersion = "repro-cells/v1"
+// CellRecordVersion stamps every cell record on disk: segment records,
+// the index sidecar, and (historically) loose per-cell files. v2 marks
+// the indexed-segment-file store; the simulation dynamics, seed
+// derivation and SweepRow schema are unchanged from v1, so loose v1
+// records stay loadable through legacyCellRecordVersion and migrate by
+// miss/compaction rather than recomputing. Bump this whenever the
+// simulation dynamics, the per-cell seed derivation, or the SweepRow
+// schema change: stale records then fail the version check and are
+// recomputed — and drop the legacy fallback in the same commit if the
+// rows themselves go stale.
+const CellRecordVersion = "repro-cells/v2"
+
+// legacyCellRecordVersion is the v1 loose-file stamp. v1 rows are
+// bit-identical to v2 rows (only the container changed), so a segment
+// miss may be served by the cell's loose v1 file.
+const legacyCellRecordVersion = "repro-cells/v1"
 
 // cellFingerprint returns the canonical key of one cell's experiment,
 // covering every field that affects the cell's row: duration, the
@@ -61,8 +77,9 @@ func cellFingerprint(e Experiment) string {
 // cellStore persists SweepRows keyed by cell fingerprint under one
 // directory. The zero value has persistence off; setDir enables it. Two
 // stores pointed at the same directory share records — across cache
-// instances and across processes — because the record key is the cell
-// fingerprint, not the owning cache or grid.
+// instances (they share the process-wide segment store) and across
+// processes — because the record key is the cell fingerprint, not the
+// owning cache or grid.
 type cellStore struct {
 	mu       sync.Mutex
 	dir      string
@@ -114,42 +131,78 @@ func warnPersistenceOff(err error) {
 	})
 }
 
-// load reads the record for fp into row, reporting false — a miss, never
-// an error — on any defect: missing or unreadable file, truncated or
-// corrupt JSON, version or fingerprint mismatch, or a payload that does
-// not belong to cell c. Defective files are removed so the following
-// store rewrites them; only the damaged cell recomputes.
-func (s *cellStore) load(fp string, c GridCell, row *SweepRow) bool {
-	dir := s.activeDir()
-	if dir == "" {
-		return false
-	}
-	var rec SweepRow
-	if !diskLoad(dir, CellRecordVersion, fp, &rec) {
-		return false
-	}
-	// Structural acceptance: the record must be a populated row for this
-	// cell's Table 2 coordinates. Anything else is corruption (or a
-	// fingerprint-prefix collision) — drop the file and recompute.
-	if rec.Concurrency != c.Concurrency || rec.ParallelFlows != c.ParallelFlows ||
-		rec.Worst <= 0 || len(rec.TransferTimes) == 0 {
-		os.Remove(diskPath(dir, fp))
-		return false
-	}
-	*row = rec
-	return true
+// cellSource says where a cell's record came from, for the CacheStats
+// counters.
+type cellSource uint8
+
+const (
+	srcMiss    cellSource = iota // not on disk: the cell must execute
+	srcSegment                   // served from the v2 segment file
+	srcDisk                      // served from a loose v1 per-cell file
+)
+
+// acceptRow is the structural acceptance check shared by both record
+// containers: the record must be a populated row for this cell's
+// Table 2 coordinates. Anything else is corruption (or a
+// fingerprint-prefix collision) and must read as a miss.
+func acceptRow(rec SweepRow, c GridCell) bool {
+	return rec.Concurrency == c.Concurrency && rec.ParallelFlows == c.ParallelFlows &&
+		rec.Worst > 0 && len(rec.TransferTimes) > 0
 }
 
-// store writes the record for fp, best-effort: the first failure
-// degrades the whole store to persistence-off (cache writes must never
-// fail a run, and must not retry per cell).
+// load reads the record for fp into row, reporting srcMiss — never an
+// error — on any defect: missing or unreadable record, truncated or
+// corrupt bytes, version or fingerprint mismatch, or a payload that
+// does not belong to cell c. The segment store is consulted first; a
+// miss there falls back to the cell's loose v1 file (migration by
+// miss). Defective segment records are dropped from the index and
+// defective loose files removed, so the following store rewrites them;
+// only the damaged cell recomputes.
+func (s *cellStore) load(fp string, c GridCell, row *SweepRow) cellSource {
+	dir := s.activeDir()
+	if dir == "" {
+		return srcMiss
+	}
+	var rec SweepRow
+	seg := segmentStore(dir)
+	if seg.load(fp, &rec) {
+		if acceptRow(rec, c) {
+			*row = rec
+			return srcSegment
+		}
+		// Structurally foreign record under this fingerprint: dead
+		// space; recompute the cell.
+		seg.dropKey(fingerprintKey(fp))
+	}
+	rec = SweepRow{}
+	if diskLoad(dir, legacyCellRecordVersion, fp, &rec) {
+		if acceptRow(rec, c) {
+			*row = rec
+			return srcDisk
+		}
+		os.Remove(diskPath(dir, fp))
+	}
+	return srcMiss
+}
+
+// store appends the record for fp to the segment, best-effort: the
+// first failure degrades the whole store to persistence-off (cache
+// writes must never fail a run, and must not retry per cell).
 func (s *cellStore) store(fp string, row SweepRow) {
 	dir := s.activeDir()
 	if dir == "" {
 		return
 	}
-	if err := diskStore(dir, CellRecordVersion, fp, row); err != nil {
+	if err := segmentStore(dir).append(fp, row); err != nil {
 		s.disable(err)
+	}
+}
+
+// flush rewrites the segment index sidecar if this run changed it —
+// called once per grid run, so per-record appends stay sidecar-free.
+func (s *cellStore) flush() {
+	if dir := s.activeDir(); dir != "" {
+		segmentStore(dir).flushIndex()
 	}
 }
 
@@ -157,31 +210,35 @@ func (s *cellStore) store(fp string, row SweepRow) {
 // are cumulative and process-wide; CLIs report per-run deltas via
 // ReadCacheStats().Since.
 var (
-	cellsRequested atomic.Int64
-	cellsFromMemo  atomic.Int64
-	cellsFromDisk  atomic.Int64
+	cellsRequested   atomic.Int64
+	cellsFromMemo    atomic.Int64
+	cellsFromDisk    atomic.Int64
+	cellsFromSegment atomic.Int64
 )
 
 // CacheStats is a snapshot of the process-wide cache counters: how many
 // grid cells were requested through the caches, how many were served by
-// the in-memory memo, how many were loaded from cell records on disk,
-// and how many experiments actually executed on a simulation engine.
-// For a fully warm request, EngineRuns is 0 and the memo/disk counters
-// account for every requested cell.
+// the in-memory memo, how many were loaded from loose v1 cell records
+// on disk, how many from the v2 segment file, and how many experiments
+// actually executed on a simulation engine. For a fully warm request,
+// EngineRuns is 0 and the memo/disk/segment counters account for every
+// requested cell.
 type CacheStats struct {
-	CellsRequested int64
-	CellsFromMemo  int64
-	CellsFromDisk  int64
-	EngineRuns     int64
+	CellsRequested   int64
+	CellsFromMemo    int64
+	CellsFromDisk    int64
+	CellsFromSegment int64
+	EngineRuns       int64
 }
 
 // ReadCacheStats returns the cumulative counters since process start.
 func ReadCacheStats() CacheStats {
 	return CacheStats{
-		CellsRequested: cellsRequested.Load(),
-		CellsFromMemo:  cellsFromMemo.Load(),
-		CellsFromDisk:  cellsFromDisk.Load(),
-		EngineRuns:     engineRuns.Load(),
+		CellsRequested:   cellsRequested.Load(),
+		CellsFromMemo:    cellsFromMemo.Load(),
+		CellsFromDisk:    cellsFromDisk.Load(),
+		CellsFromSegment: cellsFromSegment.Load(),
+		EngineRuns:       engineRuns.Load(),
 	}
 }
 
@@ -193,17 +250,18 @@ func ReadCacheStats() CacheStats {
 //	delta := workload.ReadCacheStats().Since(before)
 func (s CacheStats) Since(prev CacheStats) CacheStats {
 	return CacheStats{
-		CellsRequested: s.CellsRequested - prev.CellsRequested,
-		CellsFromMemo:  s.CellsFromMemo - prev.CellsFromMemo,
-		CellsFromDisk:  s.CellsFromDisk - prev.CellsFromDisk,
-		EngineRuns:     s.EngineRuns - prev.EngineRuns,
+		CellsRequested:   s.CellsRequested - prev.CellsRequested,
+		CellsFromMemo:    s.CellsFromMemo - prev.CellsFromMemo,
+		CellsFromDisk:    s.CellsFromDisk - prev.CellsFromDisk,
+		CellsFromSegment: s.CellsFromSegment - prev.CellsFromSegment,
+		EngineRuns:       s.EngineRuns - prev.EngineRuns,
 	}
 }
 
 // String renders the stats in the stable machine-greppable form the
-// CLIs print for -cache-stats (CI's subgrid-warm gate matches on
-// "engine-runs=0").
+// CLIs print for -cache-stats (CI's subgrid-warm and segstore-warm
+// gates match on "engine-runs=0" with the expected hit counters).
 func (s CacheStats) String() string {
-	return fmt.Sprintf("cells=%d memo=%d disk=%d engine-runs=%d",
-		s.CellsRequested, s.CellsFromMemo, s.CellsFromDisk, s.EngineRuns)
+	return fmt.Sprintf("cells=%d memo=%d disk=%d segment=%d engine-runs=%d",
+		s.CellsRequested, s.CellsFromMemo, s.CellsFromDisk, s.CellsFromSegment, s.EngineRuns)
 }

@@ -11,7 +11,8 @@ import (
 )
 
 // seedCellRecords runs the grid cold through a disk-backed cache so its
-// cell records exist under dir, returning the reference rows.
+// cell records exist under dir (in the segment file since v2),
+// returning the reference rows.
 func seedCellRecords(t *testing.T, dir string, a Axes) []GridRow {
 	t.Helper()
 	c := NewGridCache()
@@ -23,9 +24,29 @@ func seedCellRecords(t *testing.T, dir string, a Axes) []GridRow {
 	return g.Rows
 }
 
-// cellCorruptionCases mangles one cell record in every way the loader
-// must tolerate. Each takes the record's path plus the envelope of a
-// DIFFERENT cell (for cross-cell forgeries).
+// seedLegacyCellRecords writes one loose v1 per-cell file per grid cell
+// — the pre-segment layout a v1-era cache directory still holds — and
+// returns the reference rows.
+func seedLegacyCellRecords(t *testing.T, dir string, a Axes) []GridRow {
+	t.Helper()
+	g, err := RunGrid(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	na := a.normalized()
+	for _, row := range g.Rows {
+		fp := cellFingerprint(na.experiment(row.Cell))
+		if err := diskStore(dir, legacyCellRecordVersion, fp, row.SweepRow); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g.Rows
+}
+
+// cellCorruptionCases mangles one loose v1 cell record in every way the
+// legacy loader must tolerate (segment corruption has its own table in
+// segstore_test.go). Each takes the record's path plus the envelope of
+// a DIFFERENT cell (for cross-cell forgeries).
 var cellCorruptionCases = map[string]func(t *testing.T, path, otherPath string){
 	"garbage": func(t *testing.T, path, _ string) {
 		if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
@@ -55,7 +76,7 @@ var cellCorruptionCases = map[string]func(t *testing.T, path, otherPath string){
 		if err := json.Unmarshal(data, &env); err != nil {
 			t.Fatal(err)
 		}
-		env.Version = "repro-cells/v0-ancient"
+		env.Version = "repro-cells/v0-ancient" // neither v1 (legacy) nor v2
 		out, err := json.Marshal(env)
 		if err != nil {
 			t.Fatal(err)
@@ -127,10 +148,11 @@ var cellCorruptionCases = map[string]func(t *testing.T, path, otherPath string){
 	},
 }
 
-// TestCellRecordCorruptionRecovery: every class of defective cell record
-// is a miss for THAT CELL ONLY — the grid recomputes exactly the damaged
-// cell, assembles rows byte-identical to the cold reference, and leaves
-// a repaired record behind.
+// TestCellRecordCorruptionRecovery: every class of defective loose v1
+// cell record is a miss for THAT CELL ONLY — the grid (serving a
+// v1-era cache directory through the migration-by-miss path) recomputes
+// exactly the damaged cell, assembles rows byte-identical to the cold
+// reference, and leaves a repaired record behind (in the segment).
 func TestCellRecordCorruptionRecovery(t *testing.T) {
 	a := fastAxes()
 	cold, err := RunGrid(a)
@@ -142,7 +164,7 @@ func TestCellRecordCorruptionRecovery(t *testing.T) {
 	for name, corrupt := range cellCorruptionCases {
 		t.Run(name, func(t *testing.T) {
 			dir := t.TempDir()
-			seedCellRecords(t, dir, a)
+			seedLegacyCellRecords(t, dir, a)
 			paths := cellRecordPaths(dir, a)
 			corrupt(t, paths[3], paths[12])
 
@@ -173,10 +195,10 @@ func TestCellRecordCorruptionRecovery(t *testing.T) {
 	}
 }
 
-// TestPartialGridRecovery: with half the grid's records corrupted, only
-// the damaged half recomputes, and the mixed loaded/recomputed assembly
-// stays byte-identical to the cold reference (the TestGridDeterminism
-// contract extended to partial disk state).
+// TestPartialGridRecovery: with half the grid's loose v1 records
+// corrupted, only the damaged half recomputes, and the mixed
+// loaded/recomputed assembly stays byte-identical to the cold reference
+// (the TestGridDeterminism contract extended to partial disk state).
 func TestPartialGridRecovery(t *testing.T) {
 	a := fastAxes()
 	cold, err := RunGrid(a)
@@ -185,7 +207,7 @@ func TestPartialGridRecovery(t *testing.T) {
 	}
 
 	dir := t.TempDir()
-	seedCellRecords(t, dir, a)
+	seedLegacyCellRecords(t, dir, a)
 	paths := cellRecordPaths(dir, a)
 	for i, path := range paths {
 		if i%2 == 1 {
@@ -295,7 +317,8 @@ func TestDegradeWarnsOnce(t *testing.T) {
 }
 
 // TestCacheStatsCounters: the process-wide counters attribute every
-// requested cell to memo, disk, or engine execution.
+// requested cell to memo, loose v1 disk records, the segment file, or
+// engine execution.
 func TestCacheStatsCounters(t *testing.T) {
 	dir := t.TempDir()
 	a := fastAxes() // 16 cells
@@ -308,8 +331,9 @@ func TestCacheStatsCounters(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := ReadCacheStats().Since(base)
-	if d.CellsRequested != n || d.CellsFromMemo != 0 || d.CellsFromDisk != 0 || d.EngineRuns != n {
-		t.Errorf("cold run stats = %v, want cells=%d memo=0 disk=0 engine-runs=%d", d, n, n)
+	if d.CellsRequested != n || d.CellsFromMemo != 0 || d.CellsFromDisk != 0 ||
+		d.CellsFromSegment != 0 || d.EngineRuns != n {
+		t.Errorf("cold run stats = %v, want cells=%d memo=0 disk=0 segment=0 engine-runs=%d", d, n, n)
 	}
 
 	base = ReadCacheStats()
@@ -317,8 +341,9 @@ func TestCacheStatsCounters(t *testing.T) {
 		t.Fatal(err)
 	}
 	d = ReadCacheStats().Since(base)
-	if d.CellsRequested != n || d.CellsFromMemo != n || d.CellsFromDisk != 0 || d.EngineRuns != 0 {
-		t.Errorf("memo-warm stats = %v, want cells=%d memo=%d disk=0 engine-runs=0", d, n, n)
+	if d.CellsRequested != n || d.CellsFromMemo != n || d.CellsFromDisk != 0 ||
+		d.CellsFromSegment != 0 || d.EngineRuns != 0 {
+		t.Errorf("memo-warm stats = %v, want cells=%d memo=%d disk=0 segment=0 engine-runs=0", d, n, n)
 	}
 
 	fresh := NewGridCache()
@@ -328,11 +353,28 @@ func TestCacheStatsCounters(t *testing.T) {
 		t.Fatal(err)
 	}
 	d = ReadCacheStats().Since(base)
-	if d.CellsRequested != n || d.CellsFromMemo != 0 || d.CellsFromDisk != n || d.EngineRuns != 0 {
-		t.Errorf("disk-warm stats = %v, want cells=%d memo=0 disk=%d engine-runs=0", d, n, n)
+	if d.CellsRequested != n || d.CellsFromMemo != 0 || d.CellsFromDisk != 0 ||
+		d.CellsFromSegment != n || d.EngineRuns != 0 {
+		t.Errorf("segment-warm stats = %v, want cells=%d memo=0 disk=0 segment=%d engine-runs=0", d, n, n)
 	}
-	if got, want := d.String(), "cells=16 memo=0 disk=16 engine-runs=0"; got != want {
+	if got, want := d.String(), "cells=16 memo=0 disk=0 segment=16 engine-runs=0"; got != want {
 		t.Errorf("String() = %q, want %q", got, want)
+	}
+
+	// A v1-era directory (loose files, no segment) attributes its hits
+	// to the disk counter — the migration-by-miss path.
+	legacyDir := t.TempDir()
+	seedLegacyCellRecords(t, legacyDir, a)
+	legacy := NewGridCache()
+	legacy.SetDiskDir(legacyDir)
+	base = ReadCacheStats()
+	if _, err := legacy.Get(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	d = ReadCacheStats().Since(base)
+	if d.CellsRequested != n || d.CellsFromMemo != 0 || d.CellsFromDisk != n ||
+		d.CellsFromSegment != 0 || d.EngineRuns != 0 {
+		t.Errorf("legacy-warm stats = %v, want cells=%d memo=0 disk=%d segment=0 engine-runs=0", d, n, n)
 	}
 }
 

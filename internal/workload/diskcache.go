@@ -68,12 +68,19 @@ func ResolveCacheDir(flagValue string) (string, error) {
 	}
 }
 
-// diskPath names the cache file for a fingerprint. Fingerprints are
-// long canonical strings; the filename is a hash prefix, and the full
-// fingerprint inside the envelope guards against prefix collisions.
-func diskPath(dir, fingerprint string) string {
+// fingerprintKey compresses a fingerprint to its canonical short key —
+// the v1 filename stem and the v2 segment-index key. Fingerprints are
+// long canonical strings; the key is a hash prefix, and the full
+// fingerprint inside each record's envelope guards against prefix
+// collisions.
+func fingerprintKey(fingerprint string) string {
 	sum := sha256.Sum256([]byte(fingerprint))
-	return filepath.Join(dir, hex.EncodeToString(sum[:16])+".json")
+	return hex.EncodeToString(sum[:16])
+}
+
+// diskPath names the loose (v1) cache file for a fingerprint.
+func diskPath(dir, fingerprint string) string {
+	return filepath.Join(dir, fingerprintKey(fingerprint)+".json")
 }
 
 // diskLoad reads the payload stored for a fingerprint under the given
@@ -143,8 +150,11 @@ func diskStore(dir, version, fingerprint string, payload any) error {
 }
 
 // PurgeDiskCache deletes every cache file under dir ("" selects the
-// default directory). Other files are left alone; a missing directory is
-// not an error.
+// default directory): loose v1 cell records, the v2 segment file and
+// its index sidecar, and leftover temp files. The directory's
+// in-memory segment store is reset so the process does not keep serving
+// an index whose segment is gone. Other files are left alone; a missing
+// directory is not an error.
 func PurgeDiskCache(dir string) error {
 	if dir == "" {
 		var err error
@@ -152,6 +162,7 @@ func PurgeDiskCache(dir string) error {
 			return err
 		}
 	}
+	resetSegmentStore(dir)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -161,12 +172,16 @@ func PurgeDiskCache(dir string) error {
 	}
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || filepath.Ext(name) != ".json" {
+		if e.IsDir() {
+			continue
+		}
+		if filepath.Ext(name) != ".json" && name != segmentFileName && name != segmentIndexName {
 			continue
 		}
 		if err := os.Remove(filepath.Join(dir, name)); err != nil {
 			return fmt.Errorf("workload: purging disk cache: %w", err)
 		}
 	}
+	removeSegmentTempFiles(dir)
 	return nil
 }

@@ -28,8 +28,9 @@ func gridRowsJSON(t *testing.T, rows []GridRow) string {
 	return string(b)
 }
 
-// cellRecordPaths returns the on-disk record path of every cell of the
-// grid, in cell order.
+// cellRecordPaths returns the loose (v1) record path of every cell of
+// the grid, in cell order — the legacy layout the migration tests seed
+// and mangle.
 func cellRecordPaths(dir string, a Axes) []string {
 	a = a.normalized()
 	paths := make([]string, 0, a.Size())
@@ -39,10 +40,37 @@ func cellRecordPaths(dir string, a Axes) []string {
 	return paths
 }
 
+// segmentRecordCount reports how many records the directory's segment
+// store indexes right now.
+func segmentRecordCount(dir string) int {
+	s := segmentStore(dir)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureLoaded()
+	return len(s.index)
+}
+
+// looseRecordCount counts loose v1 per-cell files in the directory.
+func looseRecordCount(t *testing.T, dir string) int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			n++
+		}
+	}
+	return n
+}
+
 // TestDiskCacheWarmSweep is the disk-persistence contract: a second
-// cache (a fresh process, in effect) pointed at the same directory
-// serves the sweep entirely from cell records — zero engine runs — and
-// the loaded rows are byte-identical to the computed ones.
+// cache in a fresh process (ResetSegmentStores drops the in-memory
+// segment index) pointed at the same directory serves the sweep
+// entirely from cell records — zero engine runs — and the loaded rows
+// are byte-identical to the computed ones.
 func TestDiskCacheWarmSweep(t *testing.T) {
 	dir := t.TempDir()
 	cfg := fastSweep()
@@ -53,13 +81,16 @@ func TestDiskCacheWarmSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// One record per cell, addressable by cell fingerprint.
-	for i, path := range cellRecordPaths(dir, AxesFromSweep(cfg)) {
-		if _, err := os.Stat(path); err != nil {
-			t.Fatalf("cell %d record not written: %v", i, err)
-		}
+	// One segment record per cell, addressable by cell fingerprint, and
+	// no loose per-cell files (the v1 layout is read-only since v2).
+	if n, want := segmentRecordCount(dir), cfg.Size(); n != want {
+		t.Fatalf("segment holds %d records, want %d", n, want)
+	}
+	if n := looseRecordCount(t, dir); n != 0 {
+		t.Fatalf("cold run wrote %d loose per-cell files, want 0 (segment only)", n)
 	}
 
+	ResetSegmentStores()
 	warm := NewSweepCache()
 	warm.SetDiskDir(dir)
 	before := EngineRunCount()
@@ -90,6 +121,7 @@ func TestDiskCacheWarmGrid(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	ResetSegmentStores()
 	warm := NewGridCache()
 	warm.SetDiskDir(dir)
 	before := EngineRunCount()
@@ -136,6 +168,7 @@ func TestSubGridWarmFromSuperset(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	ResetSegmentStores() // a fresh process: index reloads from the sidecar
 	fresh := NewGridCache()
 	fresh.SetDiskDir(dir)
 	before := EngineRunCount()
@@ -296,12 +329,18 @@ func TestPurgeDiskCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, e := range entries {
-		if filepath.Ext(e.Name()) == ".json" {
-			t.Errorf("cache file %s survived purge", e.Name())
+		name := e.Name()
+		if filepath.Ext(name) == ".json" || name == segmentFileName || name == segmentIndexName {
+			t.Errorf("cache file %s survived purge", name)
 		}
 	}
 	if _, err := os.Stat(keep); err != nil {
 		t.Errorf("purge removed unrelated file: %v", err)
+	}
+	// The in-memory segment index must not outlive the purged files: a
+	// follow-up run is fully cold.
+	if n := segmentRecordCount(dir); n != 0 {
+		t.Errorf("purge left %d records in the in-memory segment index", n)
 	}
 	// A missing directory is not an error.
 	if err := PurgeDiskCache(filepath.Join(dir, "missing")); err != nil {

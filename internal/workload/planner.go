@@ -8,6 +8,21 @@ package workload
 // pool, then stored). Any overlap with any previously computed grid —
 // a sub-grid, a superset, a partially overlapping envelope probe — is
 // reused at cell granularity.
+//
+// The fetch phase runs on its own bounded worker pool: record loads are
+// I/O (segment ReadAt + JSON decode, or a loose-file read), so on
+// slow or NFS-like filesystems a serial fetch would serialize round
+// trips that overlap for free. Workers write disjoint row slots, and
+// the assembly below walks cells in grid order, so the result — rows,
+// missing-cell order, and every CacheStats counter — is byte-identical
+// to a serial fetch for any worker count.
+
+import "sync"
+
+// fetchWorkers bounds the planner's record-load pool. Loads are
+// I/O-bound, so the bound is deliberately above typical GOMAXPROCS but
+// small enough not to stampede a network filesystem.
+const fetchWorkers = 16
 
 // gridPlan partitions one requested (normalized) grid.
 type gridPlan struct {
@@ -15,7 +30,8 @@ type gridPlan struct {
 	// rows is the full result in grid order; cached cells are pre-filled
 	// by planGrid, missing cells by executeCells.
 	rows []GridRow
-	// missing lists the cells that must execute on the engine pool.
+	// missing lists the cells that must execute on the engine pool, in
+	// grid order.
 	missing []GridCell
 	// fps holds the cell fingerprint per grid row index (empty when the
 	// plan does not persist), so freshly computed cells store under the
@@ -26,10 +42,11 @@ type gridPlan struct {
 	persist bool
 }
 
-// planGrid fetches every cached cell of the grid from the store and
-// returns the plan describing what remains. a must be normalized. With
-// persistence off (nil store, no directory, or KeepClientResults) every
-// cell is missing and the plan degenerates to a whole-grid run.
+// planGrid fetches every cached cell of the grid from the store — on a
+// bounded parallel worker pool — and returns the plan describing what
+// remains. a must be normalized. With persistence off (nil store, no
+// directory, or KeepClientResults) every cell is missing and the plan
+// degenerates to a whole-grid run.
 func planGrid(a Axes, store *cellStore) *gridPlan {
 	cells := a.Cells()
 	p := &gridPlan{
@@ -45,25 +62,63 @@ func planGrid(a Axes, store *cellStore) *gridPlan {
 		return p
 	}
 	p.fps = make([]string, len(cells))
-	for _, c := range cells {
+	srcs := make([]cellSource, len(cells))
+	fetch := func(i int) {
+		c := cells[i]
 		fp := cellFingerprint(a.experiment(c))
 		p.fps[c.Index] = fp
 		var row SweepRow
-		if store.load(fp, c, &row) {
+		if src := store.load(fp, c, &row); src != srcMiss {
 			p.rows[c.Index] = GridRow{Cell: c, SweepRow: row}
-			cellsFromDisk.Add(1)
-			continue
+			srcs[i] = src
 		}
-		p.missing = append(p.missing, c)
 	}
+	if workers := min(fetchWorkers, len(cells)); workers <= 1 {
+		for i := range cells {
+			fetch(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					fetch(i)
+				}
+			}()
+		}
+		for i := range cells {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	}
+	// Assemble in grid order: the missing list and the counters come out
+	// identical whatever interleaving the pool ran.
+	var fromSegment, fromDisk int64
+	for i, c := range cells {
+		switch srcs[i] {
+		case srcSegment:
+			fromSegment++
+		case srcDisk:
+			fromDisk++
+		default:
+			p.missing = append(p.missing, c)
+		}
+	}
+	cellsFromSegment.Add(fromSegment)
+	cellsFromDisk.Add(fromDisk)
 	return p
 }
 
 // runGridIncremental is the pipeline behind both caches: plan the grid
-// against the cell store, execute only the missing cells, persist each
-// fresh record as its worker finishes it, and assemble the rows in grid
-// order. Bit-identical to RunGridParallel for any store content, any
-// worker count, and any interleaving of prior grids — every cell is
+// against the cell store (parallel fetch), execute only the missing
+// cells, persist each fresh record as its worker finishes it, assemble
+// the rows in grid order, and flush the segment index sidecar once.
+// Bit-identical to RunGridParallel for any store content, any worker
+// count, and any interleaving of prior grids — every cell is
 // independently seeded from its own coordinates, so a loaded record and
 // a recomputed row are the same bytes.
 func runGridIncremental(a Axes, workers int, store *cellStore) (*GridResult, error) {
@@ -82,6 +137,11 @@ func runGridIncremental(a Axes, workers int, store *cellStore) (*GridResult, err
 		if err := executeCells(a, plan.missing, plan.rows, workers, onRow); err != nil {
 			return nil, err
 		}
+	}
+	if plan.persist {
+		// One sidecar rewrite per run (appends AND defective-record
+		// drops), not one per record.
+		store.flush()
 	}
 	return &GridResult{Axes: a, Rows: plan.rows}, nil
 }

@@ -1,0 +1,681 @@
+package workload
+
+// The segment store: the cell store's on-disk format once grids pass
+// ~10⁴ cells. The v1 layout — one JSON file per cell — collapses into
+// filesystem-metadata overhead at that scale (10⁵ records means 10⁵
+// opens, stats and inode walks per warm grid). v2 packs every cell
+// record into ONE append-only segment file (`cells.seg`) with an
+// in-memory index — fingerprint key → (offset, length) — loaded once
+// per process from an atomic sidecar (`cells.idx`), so a warm grid is
+// one index load plus bounded-concurrency ReadAt calls instead of a
+// directory walk.
+//
+// Layout of one segment record:
+//
+//	[4] magic "RSG2"
+//	[4] payload length  (uint32 LE)
+//	[4] CRC-32 (IEEE) of the payload
+//	[n] payload: the same diskEnvelope JSON the v1 files carry
+//	    (version CellRecordVersion, full fingerprint, SweepRow)
+//
+// Robustness mirrors the v1 contract, record-granular: any defective
+// record — bad magic, bad CRC, truncated tail, index entry pointing at
+// the wrong bytes — is a miss for that cell only; the cell recomputes
+// and re-appends. The index sidecar is advisory: it records the segment
+// size it covers, and records appended after the last sidecar rewrite
+// (e.g. a run that crashed before flushing) are recovered by scanning
+// the tail. A missing or corrupt sidecar degrades to a full sequential
+// scan, never an error.
+//
+// Compaction (CompactDiskCache, `ssslab -compact-cache`) folds dead
+// segment space (records orphaned by corruption or superseded appends)
+// and loose v1 per-cell files into a fresh segment + sidecar, written
+// atomically (temp + rename; the sidecar is removed first so a crash
+// mid-swap leaves a scannable segment, not a lying index).
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+const (
+	// segmentFileName / segmentIndexName are the two store files under a
+	// cache directory; everything else there is loose v1 cell records.
+	segmentFileName  = "cells.seg"
+	segmentIndexName = "cells.idx"
+
+	// segMagic brands every record so the tail scan (and any reader
+	// handed a bad offset) can tell records from garbage.
+	segMagic = "RSG2"
+	// segHeaderSize is magic + payload length + payload CRC.
+	segHeaderSize = 12
+
+	// segMaxRecord bounds a record's payload during scans and reads, so
+	// a corrupt length field cannot ask for gigabytes.
+	segMaxRecord = 64 << 20
+)
+
+// segEntry locates one record inside the segment file.
+type segEntry struct {
+	off    int64
+	length int64 // whole record: header + payload
+}
+
+// segStore is the per-directory segment state: the in-memory index and
+// the open file handles. One instance exists per cache directory per
+// process (see segmentStore), so the index is loaded exactly once and
+// appends from every cache instance serialize through one writer.
+type segStore struct {
+	mu     sync.Mutex
+	dir    string
+	loaded bool
+	index  map[string]segEntry // fingerprintKey → record location
+	size   int64               // logical append offset
+	dirty  int                 // index changes since the last sidecar write
+	gen    uint64              // bumped whenever the index is rebuilt or handles swap
+	rf     *os.File            // shared ReadAt handle
+	wf     *os.File            // O_APPEND writer, opened on first append
+}
+
+// segRegistry maps cache directory → its process-wide segStore.
+var (
+	segRegistryMu sync.Mutex
+	segRegistry   = map[string]*segStore{}
+)
+
+// segmentStore returns the process-wide segment store for a directory,
+// creating it (index unloaded) on first use.
+func segmentStore(dir string) *segStore {
+	segRegistryMu.Lock()
+	defer segRegistryMu.Unlock()
+	s, ok := segRegistry[dir]
+	if !ok {
+		s = &segStore{dir: dir}
+		segRegistry[dir] = s
+	}
+	return s
+}
+
+// ResetSegmentStores closes every open segment store and drops the
+// in-memory indexes, so the next access reloads from disk — the state a
+// fresh process starts in. Benchmarks (cmd/benchjson's
+// grid_segment_warm) and tests use it to measure true warm opens;
+// production code never needs it.
+func ResetSegmentStores() {
+	segRegistryMu.Lock()
+	defer segRegistryMu.Unlock()
+	for _, s := range segRegistry {
+		s.close()
+	}
+	segRegistry = map[string]*segStore{}
+}
+
+// resetSegmentStore drops one directory's store (PurgeDiskCache: the
+// files are gone, the in-memory index must not outlive them).
+func resetSegmentStore(dir string) {
+	segRegistryMu.Lock()
+	defer segRegistryMu.Unlock()
+	if s, ok := segRegistry[dir]; ok {
+		s.close()
+		delete(segRegistry, dir)
+	}
+}
+
+func (s *segStore) segPath() string { return filepath.Join(s.dir, segmentFileName) }
+func (s *segStore) idxPath() string { return filepath.Join(s.dir, segmentIndexName) }
+
+// close releases the file handles and clears the loaded state.
+func (s *segStore) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rf != nil {
+		s.rf.Close()
+		s.rf = nil
+	}
+	if s.wf != nil {
+		s.wf.Close()
+		s.wf = nil
+	}
+	s.loaded = false
+	s.index = nil
+	s.size = 0
+	s.dirty = 0
+	s.gen++
+}
+
+// segIndexFile is the sidecar schema. Entries are keyed by the same
+// sha256-prefix key as v1 filenames; the full fingerprint lives inside
+// each record's envelope, which is the collision guard (the sidecar is
+// a locator, never an authority).
+type segIndexFile struct {
+	Version string              `json:"version"`
+	Size    int64               `json:"segment_size"`
+	Entries map[string][2]int64 `json:"entries"`
+}
+
+// ensureLoaded loads the index once: sidecar first (if present, valid
+// and version-matched), then a sequential scan of any segment tail the
+// sidecar does not cover. Caller holds s.mu.
+func (s *segStore) ensureLoaded() {
+	if s.loaded {
+		return
+	}
+	s.loaded = true
+	s.index = make(map[string]segEntry)
+	f, err := os.Open(s.segPath())
+	if err != nil {
+		return // no segment yet: empty store
+	}
+	s.rf = f
+	st, err := f.Stat()
+	if err != nil {
+		return
+	}
+	fileSize := st.Size()
+	scanFrom := int64(0)
+	if data, err := os.ReadFile(s.idxPath()); err == nil {
+		var idx segIndexFile
+		if json.Unmarshal(data, &idx) == nil && idx.Version == CellRecordVersion &&
+			idx.Size >= 0 && idx.Size <= fileSize {
+			for key, loc := range idx.Entries {
+				e := segEntry{off: loc[0], length: loc[1]}
+				// Prune locations the segment cannot contain (truncated
+				// segment, forged sidecar): they could only miss anyway.
+				if e.off < 0 || e.length < segHeaderSize || e.off+e.length > fileSize {
+					s.dirty++
+					continue
+				}
+				s.index[key] = e
+			}
+			scanFrom = idx.Size
+		}
+	}
+	if end := s.scanTail(scanFrom, fileSize); end == scanFrom && scanFrom > 0 && scanFrom < fileSize {
+		// The sidecar's cover point is not a record boundary: a stale
+		// sidecar (e.g. another process appended after this sidecar was
+		// written and ours went stale) or a torn first tail record. The
+		// framing cannot tell these apart, so rebuild by scanning the
+		// whole file — it walks real record boundaries from offset 0 and
+		// recovers everything recoverable. Never truncate here: bytes
+		// the scan cannot frame may still be another writer's records
+		// reachable through a newer sidecar; unreachable ones are dead
+		// space for the next compaction.
+		s.scanTail(0, fileSize)
+		s.dirty++
+	}
+	// Appends go to the physical EOF (O_APPEND) wherever the scan
+	// stopped; torn or foreign regions between the last framed record
+	// and EOF stay as dead space rather than being destroyed.
+	s.size = fileSize
+}
+
+// scanTail indexes records between offset from and fileSize — appends
+// the sidecar has not seen. The first defective record (truncated tail
+// after a crash, torn write) ends the scan; the cells beyond simply
+// recompute and re-append, and the unreadable bytes wait for
+// compaction. Returns the offset the scan reached.
+func (s *segStore) scanTail(from, fileSize int64) int64 {
+	off := from
+	header := make([]byte, segHeaderSize)
+	for off+segHeaderSize <= fileSize {
+		if _, err := s.rf.ReadAt(header, off); err != nil {
+			break
+		}
+		if string(header[:4]) != segMagic {
+			break
+		}
+		n := int64(binary.LittleEndian.Uint32(header[4:8]))
+		if n <= 0 || n > segMaxRecord || off+segHeaderSize+n > fileSize {
+			break
+		}
+		payload := make([]byte, n)
+		if _, err := s.rf.ReadAt(payload, off+segHeaderSize); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(header[8:12]) {
+			break
+		}
+		var env diskEnvelope
+		if json.Unmarshal(payload, &env) != nil ||
+			env.Version != CellRecordVersion || env.Fingerprint == "" {
+			break
+		}
+		s.index[fingerprintKey(env.Fingerprint)] = segEntry{off: off, length: segHeaderSize + n}
+		off += segHeaderSize + n
+		s.dirty++
+	}
+	return off
+}
+
+// load reads the record for fp into out, reporting false — a miss,
+// never an error — on any defect. A defective record's index entry is
+// dropped (the bytes become dead space for the next compaction) so the
+// cell recomputes and re-appends.
+func (s *segStore) load(fp string, out *SweepRow) bool {
+	key := fingerprintKey(fp)
+	s.mu.Lock()
+	s.ensureLoaded()
+	e, ok := s.index[key]
+	rf := s.rf
+	gen := s.gen
+	s.mu.Unlock()
+	if !ok || rf == nil {
+		return false
+	}
+	if e.length < segHeaderSize || e.length > segHeaderSize+segMaxRecord {
+		s.drop(key, e, gen)
+		return false
+	}
+	buf := make([]byte, e.length)
+	if _, err := rf.ReadAt(buf, e.off); err != nil {
+		s.drop(key, e, gen)
+		return false
+	}
+	if string(buf[:4]) != segMagic ||
+		int64(binary.LittleEndian.Uint32(buf[4:8])) != e.length-segHeaderSize ||
+		crc32.ChecksumIEEE(buf[segHeaderSize:]) != binary.LittleEndian.Uint32(buf[8:12]) {
+		s.drop(key, e, gen)
+		return false
+	}
+	var env diskEnvelope
+	if json.Unmarshal(buf[segHeaderSize:], &env) != nil ||
+		env.Version != CellRecordVersion ||
+		env.Fingerprint != fp ||
+		json.Unmarshal(env.Payload, out) != nil {
+		s.drop(key, e, gen)
+		return false
+	}
+	return true
+}
+
+// drop removes a defective record's index entry — but only if the
+// index generation is unchanged and the entry still is what the failed
+// read observed. The ReadAt in load runs outside the lock, so a
+// concurrent compact (or ResetSegmentStores) may have failed that read
+// by closing the handle and already replaced the entry with a valid
+// relocated one; both guards together make an eviction of the new
+// entry impossible (entries can relocate to identical coordinates, so
+// comparing the entry alone would not be enough).
+func (s *segStore) drop(key string, observed segEntry, gen uint64) {
+	s.mu.Lock()
+	if cur, ok := s.index[key]; ok && cur == observed && s.gen == gen {
+		delete(s.index, key)
+		s.dirty++
+	}
+	s.mu.Unlock()
+}
+
+// dropKey unconditionally removes a key — for records that decoded
+// successfully but are structurally foreign to their cell (the bytes
+// themselves are bad wherever they live, so relocation cannot save
+// them).
+func (s *segStore) dropKey(key string) {
+	s.mu.Lock()
+	if _, ok := s.index[key]; ok {
+		delete(s.index, key)
+		s.dirty++
+	}
+	s.mu.Unlock()
+}
+
+// encodeSegRecord frames one cell record for the segment file.
+func encodeSegRecord(fp string, row SweepRow) ([]byte, error) {
+	raw, err := json.Marshal(row)
+	if err != nil {
+		return nil, fmt.Errorf("workload: encoding cell record: %w", err)
+	}
+	payload, err := json.Marshal(diskEnvelope{
+		Version:     CellRecordVersion,
+		Fingerprint: fp,
+		Payload:     raw,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("workload: encoding cell envelope: %w", err)
+	}
+	buf := make([]byte, segHeaderSize+len(payload))
+	copy(buf, segMagic)
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[8:12], crc32.ChecksumIEEE(payload))
+	copy(buf[segHeaderSize:], payload)
+	return buf, nil
+}
+
+// append writes one record to the segment and indexes it in memory. The
+// sidecar is NOT rewritten per record — flushIndex does that once per
+// grid run — so a crash between append and flush costs only a tail scan
+// on the next open, never data.
+func (s *segStore) append(fp string, row SweepRow) error {
+	buf, err := encodeSegRecord(fp, row)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureLoaded()
+	if s.wf == nil {
+		if err := os.MkdirAll(s.dir, 0o755); err != nil {
+			return fmt.Errorf("workload: creating cache dir: %w", err)
+		}
+		wf, err := os.OpenFile(s.segPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("workload: opening segment file: %w", err)
+		}
+		s.wf = wf
+	}
+	// O_APPEND writes land at the physical EOF, which another process
+	// sharing the cache directory may have moved past our counter; take
+	// the offset from the file itself so our index entry points where
+	// the record actually lands (best-effort — an interleaved foreign
+	// write between stat and write is caught later by the CRC guard and
+	// costs a recompute, never a wrong row).
+	off := s.size
+	if st, err := s.wf.Stat(); err == nil {
+		off = st.Size()
+	}
+	if _, err := s.wf.Write(buf); err != nil {
+		return fmt.Errorf("workload: appending cell record: %w", err)
+	}
+	if s.rf == nil {
+		// The segment may not have existed when the index loaded; reads
+		// need a handle now that it does. A failed open only costs
+		// misses until the next process.
+		s.rf, _ = os.Open(s.segPath())
+	}
+	s.index[fingerprintKey(fp)] = segEntry{off: off, length: int64(len(buf))}
+	s.size = off + int64(len(buf))
+	s.dirty++
+	return nil
+}
+
+// flushIndex rewrites the sidecar atomically if the index changed since
+// the last write. Called once per grid run (runGridIncremental), not
+// per record. Failure is silent: the sidecar is an accelerator, and the
+// tail scan recovers everything it would have said.
+func (s *segStore) flushIndex() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.loaded || s.dirty == 0 {
+		return
+	}
+	if s.writeSidecar() == nil {
+		s.dirty = 0
+	}
+}
+
+// writeSidecar writes the current index as the sidecar (temp + rename).
+// Caller holds s.mu.
+func (s *segStore) writeSidecar() error {
+	idx := segIndexFile{
+		Version: CellRecordVersion,
+		Size:    s.size,
+		Entries: make(map[string][2]int64, len(s.index)),
+	}
+	for key, e := range s.index {
+		idx.Entries[key] = [2]int64{e.off, e.length}
+	}
+	data, err := json.Marshal(idx)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, ".idx-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), s.idxPath()); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// CompactStats summarizes one compaction.
+type CompactStats struct {
+	// Records is the number of live records in the compacted segment.
+	Records int
+	// Folded is how many loose v1 per-cell files were migrated into the
+	// segment (and removed).
+	Folded int
+	// SegmentBytes is the compacted segment's size.
+	SegmentBytes int64
+	// ReclaimedBytes is the on-disk space freed: dead segment space plus
+	// the loose files folded away.
+	ReclaimedBytes int64
+}
+
+// CompactDiskCache rewrites a cache directory's segment store from its
+// live contents: every readable segment record plus every loose v1
+// per-cell file folds into a fresh segment + sidecar; dead segment
+// space (corrupt or superseded records), folded loose files, and any
+// temp files a crashed writer left behind are reclaimed. dir ""
+// selects the default directory. A directory with no cache state
+// compacts to nothing successfully.
+func CompactDiskCache(dir string) (CompactStats, error) {
+	if dir == "" {
+		var err error
+		if dir, err = DefaultDiskCacheDir(); err != nil {
+			return CompactStats{}, err
+		}
+	}
+	return segmentStore(dir).compact()
+}
+
+// compact is CompactDiskCache's engine; it holds the store lock for the
+// whole rewrite, so concurrent appends and index lookups serialize
+// around it. A load whose ReadAt was already in flight (reads run
+// outside the lock) fails against the closed old handle and reports a
+// miss; its generation-guarded drop cannot evict the relocated entry,
+// so the cost is one recompute, never a lost record.
+func (s *segStore) compact() (CompactStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureLoaded()
+
+	var st CompactStats
+	oldSegBytes := int64(0)
+	if fi, err := os.Stat(s.segPath()); err == nil {
+		oldSegBytes = fi.Size()
+	}
+
+	// A directory with nothing to compact — no indexed records, no
+	// loose cell files — is a successful no-op: compaction must not
+	// fabricate store files (or the directory itself) where no cache
+	// state exists.
+	if len(s.index) == 0 {
+		hasLoose := false
+		entries, err := os.ReadDir(s.dir)
+		if err != nil {
+			if os.IsNotExist(err) {
+				return st, nil
+			}
+			return st, fmt.Errorf("workload: compacting cache: %w", err)
+		}
+		for _, ent := range entries {
+			if !ent.IsDir() && filepath.Ext(ent.Name()) == ".json" {
+				hasLoose = true
+				break
+			}
+		}
+		if !hasLoose {
+			removeSegmentTempFiles(s.dir)
+			return st, nil
+		}
+	}
+
+	// Stream straight into the temp segment: one record in memory at a
+	// time, so compacting a 10⁵-cell store costs O(record), not
+	// O(segment), of RSS. Temp + rename, with the sidecar removed
+	// BEFORE the segment swaps in: a crash between the two leaves a
+	// sidecar-less segment (full scan, correct) rather than a sidecar
+	// describing the old segment's offsets.
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return st, fmt.Errorf("workload: compacting cache: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, ".seg-*.tmp")
+	if err != nil {
+		return st, fmt.Errorf("workload: compacting cache: %w", err)
+	}
+	newIndex := make(map[string]segEntry, len(s.index))
+	var off int64
+	writeRec := func(key string, buf []byte) error {
+		if _, err := tmp.Write(buf); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return fmt.Errorf("workload: writing compacted segment: %w", err)
+		}
+		newIndex[key] = segEntry{off: off, length: int64(len(buf))}
+		off += int64(len(buf))
+		return nil
+	}
+
+	// Live segment records first, deterministically ordered by key so
+	// two compactions of the same state write identical segments.
+	keys := make([]string, 0, len(s.index))
+	for key := range s.index {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		e := s.index[key]
+		if s.rf == nil || e.length < segHeaderSize || e.length > segHeaderSize+segMaxRecord {
+			continue
+		}
+		buf := make([]byte, e.length)
+		if _, err := s.rf.ReadAt(buf, e.off); err != nil {
+			continue
+		}
+		if string(buf[:4]) != segMagic ||
+			int64(binary.LittleEndian.Uint32(buf[4:8])) != e.length-segHeaderSize ||
+			crc32.ChecksumIEEE(buf[segHeaderSize:]) != binary.LittleEndian.Uint32(buf[8:12]) {
+			continue
+		}
+		if err := writeRec(key, buf); err != nil {
+			return st, err
+		}
+	}
+
+	// Then fold loose v1 per-cell files: read, validate, re-frame as
+	// segment records. The envelope version may be v1 (legacy) — the
+	// payload schema is unchanged, which is exactly why migration-by-miss
+	// works.
+	entries, err := os.ReadDir(s.dir)
+	if err != nil && !os.IsNotExist(err) {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return st, fmt.Errorf("workload: compacting cache: %w", err)
+	}
+	var looseFolded []string
+	var looseBytes int64
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || filepath.Ext(name) != ".json" {
+			continue
+		}
+		path := filepath.Join(s.dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		var env diskEnvelope
+		var row SweepRow
+		if json.Unmarshal(data, &env) != nil ||
+			(env.Version != CellRecordVersion && env.Version != legacyCellRecordVersion) ||
+			env.Fingerprint == "" ||
+			json.Unmarshal(env.Payload, &row) != nil {
+			continue // not a cell record (or corrupt): leave it alone
+		}
+		key := fingerprintKey(env.Fingerprint)
+		if _, dup := newIndex[key]; !dup {
+			buf, err := encodeSegRecord(env.Fingerprint, row)
+			if err != nil {
+				continue
+			}
+			if err := writeRec(key, buf); err != nil {
+				return st, err
+			}
+		}
+		looseFolded = append(looseFolded, path)
+		looseBytes += int64(len(data))
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return st, fmt.Errorf("workload: writing compacted segment: %w", err)
+	}
+	os.Remove(s.idxPath())
+	if err := os.Rename(tmp.Name(), s.segPath()); err != nil {
+		os.Remove(tmp.Name())
+		return st, fmt.Errorf("workload: publishing compacted segment: %w", err)
+	}
+
+	// Swap the in-memory state over to the new segment. The generation
+	// bump invalidates in-flight loads' drop attempts: their failed
+	// reads (closed old handle) must not evict relocated entries, even
+	// ones whose new coordinates happen to equal the old.
+	if s.rf != nil {
+		s.rf.Close()
+	}
+	if s.wf != nil {
+		s.wf.Close()
+		s.wf = nil
+	}
+	s.rf, _ = os.Open(s.segPath())
+	s.index = newIndex
+	s.size = off
+	s.gen++
+	s.dirty = 1
+	if s.writeSidecar() == nil {
+		s.dirty = 0
+	}
+
+	// Reclaim the folded loose files and any temp files a crashed writer
+	// (or interrupted compaction) left behind.
+	for _, path := range looseFolded {
+		os.Remove(path)
+	}
+	removeSegmentTempFiles(s.dir)
+
+	st.Records = len(newIndex)
+	st.Folded = len(looseFolded)
+	st.SegmentBytes = off
+	st.ReclaimedBytes = oldSegBytes + looseBytes - off
+	if st.ReclaimedBytes < 0 {
+		st.ReclaimedBytes = 0
+	}
+	return st, nil
+}
+
+// removeSegmentTempFiles deletes leftover temp files from crashed
+// writers: v1 cell-record temps plus segment/sidecar temps.
+func removeSegmentTempFiles(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".tmp") {
+			continue
+		}
+		if strings.HasPrefix(name, ".cell-") || strings.HasPrefix(name, ".seg-") || strings.HasPrefix(name, ".idx-") {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}

@@ -1,0 +1,526 @@
+package workload
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/tcpsim"
+	"repro/internal/units"
+)
+
+// segPathOf / idxPathOf name the store files for a test directory.
+func segPathOf(dir string) string { return filepath.Join(dir, segmentFileName) }
+func idxPathOf(dir string) string { return filepath.Join(dir, segmentIndexName) }
+
+// segEntryOf returns the segment location of one cell's record, read
+// through the live store (same package, so tests may look).
+func segEntryOf(t *testing.T, dir string, a Axes, cellIdx int) (key string, e segEntry) {
+	t.Helper()
+	na := a.normalized()
+	cells := na.Cells()
+	fp := cellFingerprint(na.experiment(cells[cellIdx]))
+	key = fingerprintKey(fp)
+	s := segmentStore(dir)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureLoaded()
+	e, ok := s.index[key]
+	if !ok {
+		t.Fatalf("cell %d not in segment index", cellIdx)
+	}
+	return key, e
+}
+
+// TestSegmentWarmGrid is the v2 persistence contract: a cold cached run
+// writes every cell into ONE segment file plus an index sidecar; a
+// fresh process (ResetSegmentStores) warm-opens the grid with zero
+// engine runs, byte-identical to a cold serial RunGrid.
+func TestSegmentWarmGrid(t *testing.T) {
+	dir := t.TempDir()
+	a := fastAxes()
+
+	cold, err := RunGrid(a) // reference: cold serial, no caches
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedCellRecords(t, dir, a)
+
+	if _, err := os.Stat(segPathOf(dir)); err != nil {
+		t.Fatalf("segment file not written: %v", err)
+	}
+	if _, err := os.Stat(idxPathOf(dir)); err != nil {
+		t.Fatalf("index sidecar not written: %v", err)
+	}
+	if n := looseRecordCount(t, dir); n != 0 {
+		t.Fatalf("v2 cold run wrote %d loose files, want 0", n)
+	}
+
+	ResetSegmentStores()
+	warm := NewGridCache()
+	warm.SetDiskDir(dir)
+	before := EngineRunCount()
+	g, err := warm.Get(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs := EngineRunCount() - before; runs != 0 {
+		t.Fatalf("segment warm open ran %d experiments, want 0", runs)
+	}
+	if gridRowsJSON(t, g.Rows) != gridRowsJSON(t, cold.Rows) {
+		t.Fatal("segment-loaded rows not byte-identical to cold serial RunGrid")
+	}
+}
+
+// TestSegmentIndexSidecarGrows: the sidecar is rewritten once per run
+// and accumulates every grid's records.
+func TestSegmentIndexSidecarGrows(t *testing.T) {
+	dir := t.TempDir()
+	first := fastAxes()
+	first.Buffers = first.Buffers[:1] // 8 cells
+	seedCellRecords(t, dir, first)
+
+	readIdx := func() segIndexFile {
+		t.Helper()
+		data, err := os.ReadFile(idxPathOf(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var idx segIndexFile
+		if err := json.Unmarshal(data, &idx); err != nil {
+			t.Fatal(err)
+		}
+		if idx.Version != CellRecordVersion {
+			t.Fatalf("sidecar version %q, want %q", idx.Version, CellRecordVersion)
+		}
+		return idx
+	}
+	if idx := readIdx(); len(idx.Entries) != first.Size() {
+		t.Fatalf("sidecar holds %d entries after first run, want %d", len(idx.Entries), first.Size())
+	}
+
+	seedCellRecords(t, dir, fastAxes()) // 16 cells, 8 shared
+	idx := readIdx()
+	if len(idx.Entries) != fastAxes().Size() {
+		t.Fatalf("sidecar holds %d entries after second run, want %d", len(idx.Entries), fastAxes().Size())
+	}
+	if fi, err := os.Stat(segPathOf(dir)); err != nil || idx.Size != fi.Size() {
+		t.Fatalf("sidecar covers %d bytes, segment is %v bytes (err %v)", idx.Size, fi, err)
+	}
+}
+
+// TestSegmentWarmWithoutSidecar: deleting the sidecar costs a full
+// sequential scan, never a recompute — the index is an accelerator,
+// the segment is the data.
+func TestSegmentWarmWithoutSidecar(t *testing.T) {
+	dir := t.TempDir()
+	a := fastAxes()
+	rows := seedCellRecords(t, dir, a)
+	if err := os.Remove(idxPathOf(dir)); err != nil {
+		t.Fatal(err)
+	}
+
+	ResetSegmentStores()
+	warm := NewGridCache()
+	warm.SetDiskDir(dir)
+	before := EngineRunCount()
+	g, err := warm.Get(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs := EngineRunCount() - before; runs != 0 {
+		t.Fatalf("sidecar-less warm open ran %d experiments, want 0 (scan must recover the index)", runs)
+	}
+	if gridRowsJSON(t, g.Rows) != gridRowsJSON(t, rows) {
+		t.Fatal("scan-recovered rows differ")
+	}
+}
+
+// TestSegmentCompaction: compacting a freshly seeded directory keeps
+// every record, the compacted segment serves the grid warm with zero
+// engine runs, and repeated compaction is stable.
+func TestSegmentCompaction(t *testing.T) {
+	dir := t.TempDir()
+	a := fastAxes()
+	rows := seedCellRecords(t, dir, a)
+
+	st, err := CompactDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != a.Size() || st.Folded != 0 {
+		t.Fatalf("compaction stats = %+v, want %d records, 0 folded", st, a.Size())
+	}
+	if fi, err := os.Stat(segPathOf(dir)); err != nil || fi.Size() != st.SegmentBytes {
+		t.Fatalf("segment size %v != reported %d (err %v)", fi, st.SegmentBytes, err)
+	}
+
+	ResetSegmentStores()
+	warm := NewGridCache()
+	warm.SetDiskDir(dir)
+	before := EngineRunCount()
+	g, err := warm.Get(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs := EngineRunCount() - before; runs != 0 {
+		t.Fatalf("compacted warm open ran %d experiments, want 0", runs)
+	}
+	if gridRowsJSON(t, g.Rows) != gridRowsJSON(t, rows) {
+		t.Fatal("compacted rows differ")
+	}
+
+	// Idempotence: compacting a compacted store reclaims nothing.
+	st2, err := CompactDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Records != a.Size() || st2.ReclaimedBytes != 0 {
+		t.Errorf("re-compaction stats = %+v, want %d records, 0 reclaimed", st2, a.Size())
+	}
+}
+
+// TestCompactionEmptyStateIsNoOp: compacting a directory with no cache
+// state fabricates nothing — no segment, no sidecar, no directory.
+func TestCompactionEmptyStateIsNoOp(t *testing.T) {
+	dir := t.TempDir()
+	st, err := CompactDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != (CompactStats{}) {
+		t.Errorf("empty-dir compaction stats = %+v, want zero", st)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("empty-dir compaction created %d files", len(entries))
+	}
+
+	// A directory that does not exist stays nonexistent.
+	missing := filepath.Join(dir, "never-created")
+	if _, err := CompactDiskCache(missing); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(missing); !os.IsNotExist(err) {
+		t.Errorf("compaction created the missing directory (stat err = %v)", err)
+	}
+}
+
+// TestCompactionFoldsLegacyFiles: a v1-era directory (loose per-cell
+// files, no segment) compacts into a segment; the loose files are
+// removed and every cell then serves from the segment.
+func TestCompactionFoldsLegacyFiles(t *testing.T) {
+	dir := t.TempDir()
+	a := fastAxes()
+	rows := seedLegacyCellRecords(t, dir, a)
+	if n := looseRecordCount(t, dir); n != a.Size() {
+		t.Fatalf("seeded %d loose files, want %d", n, a.Size())
+	}
+
+	st, err := CompactDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != a.Size() || st.Folded != a.Size() {
+		t.Fatalf("compaction stats = %+v, want %d records all folded", st, a.Size())
+	}
+	if n := looseRecordCount(t, dir); n != 0 {
+		t.Fatalf("%d loose files survived compaction, want 0", n)
+	}
+
+	ResetSegmentStores()
+	warm := NewGridCache()
+	warm.SetDiskDir(dir)
+	base := ReadCacheStats()
+	g, err := warm.Get(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ReadCacheStats().Since(base)
+	if d.EngineRuns != 0 || d.CellsFromSegment != int64(a.Size()) || d.CellsFromDisk != 0 {
+		t.Fatalf("post-fold stats = %v, want all %d cells from segment", d, a.Size())
+	}
+	if gridRowsJSON(t, g.Rows) != gridRowsJSON(t, rows) {
+		t.Fatal("folded rows differ from the v1 originals")
+	}
+}
+
+// TestLegacyMigrationByMiss: loose v1 files serve a grid (zero engine
+// runs) without any compaction — the segment simply misses and the
+// loader falls back per cell.
+func TestLegacyMigrationByMiss(t *testing.T) {
+	dir := t.TempDir()
+	a := fastAxes()
+	rows := seedLegacyCellRecords(t, dir, a)
+
+	warm := NewGridCache()
+	warm.SetDiskDir(dir)
+	base := ReadCacheStats()
+	g, err := warm.Get(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ReadCacheStats().Since(base)
+	if d.EngineRuns != 0 || d.CellsFromDisk != int64(a.Size()) || d.CellsFromSegment != 0 {
+		t.Fatalf("migration stats = %v, want all %d cells from loose v1 files", d, a.Size())
+	}
+	if gridRowsJSON(t, g.Rows) != gridRowsJSON(t, rows) {
+		t.Fatal("migrated rows differ")
+	}
+}
+
+// segCorruptionCases damages a seeded segment store in every way the
+// loader must survive. Each returns how many engine runs the recovery
+// is allowed (== the number of damaged cells).
+var segCorruptionCases = map[string]func(t *testing.T, dir string, a Axes) int{
+	// A crash mid-append leaves a half-written record at the tail. With
+	// the sidecar gone too (the run never flushed), the scan must
+	// recover every whole record and recompute only the torn one.
+	"truncated tail record": func(t *testing.T, dir string, a Axes) int {
+		if err := os.Remove(idxPathOf(dir)); err != nil {
+			t.Fatal(err)
+		}
+		fi, err := os.Stat(segPathOf(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(segPathOf(dir), fi.Size()-10); err != nil {
+			t.Fatal(err)
+		}
+		return 1
+	},
+	// Bit rot inside one record's payload: the CRC catches it, that
+	// cell alone recomputes.
+	"bad crc": func(t *testing.T, dir string, a Axes) int {
+		_, e := segEntryOf(t, dir, a, 3)
+		ResetSegmentStores()
+		f, err := os.OpenFile(segPathOf(dir), os.O_RDWR, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		pos := e.off + segHeaderSize + 5
+		b := make([]byte, 1)
+		if _, err := f.ReadAt(b, pos); err != nil {
+			t.Fatal(err)
+		}
+		b[0] ^= 0xFF
+		if _, err := f.WriteAt(b, pos); err != nil {
+			t.Fatal(err)
+		}
+		return 1
+	},
+	// A sidecar entry pointing at the wrong offset: the bytes there
+	// fail the magic/CRC check, so the mismatch is a single-cell miss,
+	// never a wrong row.
+	"index/segment mismatch": func(t *testing.T, dir string, a Axes) int {
+		key, _ := segEntryOf(t, dir, a, 5)
+		ResetSegmentStores()
+		data, err := os.ReadFile(idxPathOf(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var idx segIndexFile
+		if err := json.Unmarshal(data, &idx); err != nil {
+			t.Fatal(err)
+		}
+		loc, ok := idx.Entries[key]
+		if !ok {
+			t.Fatal("key missing from sidecar")
+		}
+		loc[0] += 7
+		idx.Entries[key] = loc
+		out, err := json.Marshal(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(idxPathOf(dir), out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return 1
+	},
+	// A record whose length field lies (larger than the payload the
+	// CRC was computed over): caught by the CRC, single-cell miss.
+	"corrupt length field": func(t *testing.T, dir string, a Axes) int {
+		_, e := segEntryOf(t, dir, a, 7)
+		ResetSegmentStores()
+		f, err := os.OpenFile(segPathOf(dir), os.O_RDWR, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		b := make([]byte, 4)
+		binary.LittleEndian.PutUint32(b, uint32(e.length-segHeaderSize+4))
+		if _, err := f.WriteAt(b, e.off+4); err != nil {
+			t.Fatal(err)
+		}
+		return 1
+	},
+	// A sidecar whose cover point (segment_size) lands mid-record — a
+	// stale sidecar after another writer appended, or a sidecar written
+	// against a since-changed segment. The loader must fall back to a
+	// full scan and recover every record; it must NOT truncate or
+	// otherwise damage the segment (zero damaged cells).
+	"stale sidecar cover point": func(t *testing.T, dir string, a Axes) int {
+		data, err := os.ReadFile(idxPathOf(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var idx segIndexFile
+		if err := json.Unmarshal(data, &idx); err != nil {
+			t.Fatal(err)
+		}
+		idx.Size -= 10 // mid-record: not a frame boundary
+		out, err := json.Marshal(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(idxPathOf(dir), out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		segBefore, err := os.Stat(segPathOf(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			// Recovery must never shrink the segment: bytes a stale
+			// sidecar hides may be another writer's live records.
+			if fi, err := os.Stat(segPathOf(dir)); err == nil && fi.Size() < segBefore.Size() {
+				t.Errorf("segment shrank from %d to %d bytes during recovery", segBefore.Size(), fi.Size())
+			}
+		})
+		return 0
+	},
+	// A compaction that crashed between writing its temp files and the
+	// rename leaves .seg-*.tmp/.idx-*.tmp litter. The store must ignore
+	// it entirely (zero damaged cells).
+	"mid-compaction crash leftovers": func(t *testing.T, dir string, a Axes) int {
+		for _, name := range []string{".seg-123456.tmp", ".idx-123456.tmp", ".cell-123456.tmp"} {
+			if err := os.WriteFile(filepath.Join(dir, name), []byte("half-written garbage"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return 0
+	},
+}
+
+// TestSegmentCorruptionRecovery: every class of segment damage is a
+// miss for the damaged cells ONLY — recovery recomputes exactly those,
+// assembles byte-identical to the cold reference, repairs the store
+// (follow-up warm open: zero runs), and a subsequent compaction leaves
+// a clean directory.
+func TestSegmentCorruptionRecovery(t *testing.T) {
+	a := fastAxes()
+	cold, err := RunGrid(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := gridRowsJSON(t, cold.Rows)
+
+	for name, corrupt := range segCorruptionCases {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			seedCellRecords(t, dir, a)
+			ResetSegmentStores()
+			wantRuns := int64(corrupt(t, dir, a))
+			ResetSegmentStores()
+
+			c := NewGridCache()
+			c.SetDiskDir(dir)
+			before := EngineRunCount()
+			g, err := c.Get(a, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if runs := EngineRunCount() - before; runs != wantRuns {
+				t.Errorf("recovery ran %d experiments, want %d (only the damaged cells)", runs, wantRuns)
+			}
+			if gridRowsJSON(t, g.Rows) != want {
+				t.Error("recovered rows differ from cold reference")
+			}
+
+			// The recompute must leave a repaired store behind.
+			ResetSegmentStores()
+			warm := NewGridCache()
+			warm.SetDiskDir(dir)
+			before = EngineRunCount()
+			if _, err := warm.Get(a, 0); err != nil {
+				t.Fatal(err)
+			}
+			if runs := EngineRunCount() - before; runs != 0 {
+				t.Errorf("store not repaired: follow-up run recomputed %d cells", runs)
+			}
+
+			// Compaction after recovery reclaims any dead space and
+			// removes crash litter; the directory then holds exactly the
+			// two store files (plus nothing else we created).
+			if _, err := CompactDiskCache(dir); err != nil {
+				t.Fatal(err)
+			}
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ent := range entries {
+				if n := ent.Name(); n != segmentFileName && n != segmentIndexName {
+					t.Errorf("unexpected file %q after compaction", n)
+				}
+			}
+		})
+	}
+}
+
+// TestSegmentWarmLargeGrid is the acceptance criterion at unit scale
+// guarded for -short: a ≥2048-cell grid round-trips through a compacted
+// segment file with zero engine runs, byte-identical to cold serial
+// RunGrid (the CI segstore-warm job asserts the same through the real
+// CLI).
+func TestSegmentWarmLargeGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2048-cell grid is seconds of engine time; skipped under -short")
+	}
+	a := fastAxes()
+	// fastAxes is 2×2×2×2 = 16 cells; widen to 8 conc × 4 P × 4 RTTs ×
+	// 2 buffers × 2 CCs × 2 crosses = 2048.
+	a.Concurrencies = []int{1, 2, 3, 4, 5, 6, 7, 8}
+	a.ParallelFlows = []int{1, 2, 4, 8}
+	a.TransferSizes = append(a.TransferSizes, 0.25*units.GB)
+	a.RTTs = append(a.RTTs, 16*time.Millisecond, 64*time.Millisecond)
+	a.CCs = []tcpsim.CongestionControl{tcpsim.Reno, tcpsim.Cubic}
+	a.CrossFractions = []float64{0, 0.3}
+	if a.Size() < 2048 {
+		t.Fatalf("grid has %d cells, want >= 2048", a.Size())
+	}
+
+	cold, err := RunGrid(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	seedCellRecords(t, dir, a)
+	if _, err := CompactDiskCache(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	ResetSegmentStores()
+	warm := NewGridCache()
+	warm.SetDiskDir(dir)
+	base := ReadCacheStats()
+	g, err := warm.Get(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ReadCacheStats().Since(base)
+	if d.EngineRuns != 0 || d.CellsFromSegment != int64(a.Size()) {
+		t.Fatalf("large warm open stats = %v, want all %d cells from segment, zero engine runs", d, a.Size())
+	}
+	if gridRowsJSON(t, g.Rows) != gridRowsJSON(t, cold.Rows) {
+		t.Fatal("2048-cell segment warm open not byte-identical to cold serial RunGrid")
+	}
+}

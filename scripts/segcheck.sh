@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# segcheck.sh — the CI segment-store gate: run a ≥2048-cell scenario
+# grid cold through the real ssslab CLI, compact the cache into the
+# indexed segment file (ssslab -compact-cache), then re-run the same
+# grid warm in a fresh process and fail unless (a) -cache-stats reports
+# zero engine runs with every cell served from the segment, and (b) the
+# warm report is byte-identical to the cold one. This is the segment
+# store's headline guarantee at the scale the per-cell-file layout
+# could not serve (PERFORMANCE.md "The segment store"); the unit tests
+# assert it in-process, this script asserts it end to end across real
+# CLI invocations.
+#
+# Cache-stats lines (and the compaction summary) are appended to
+# $OUT_LOG so CI can upload them as an artifact when the gate fails.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Hermetic cell store: the cold run below must be the only possible
+# source of warm cells. The grid reports land inside it, and the trap
+# cleans it on every exit path. A self-created OUT_LOG (no $OUT_LOG
+# from the environment — CI sets one and uploads it as an artifact on
+# failure) is removed on success but KEPT on failure, since the
+# byte-identity diff is written only there.
+CACHE_DIR=$(mktemp -d /tmp/repro-segcheck-cache.XXXXXX)
+export CACHE_DIR
+own_log=""
+if [ -z "${OUT_LOG:-}" ]; then
+    OUT_LOG=$(mktemp /tmp/repro-segcheck-out.XXXXXX)
+    own_log=$OUT_LOG
+fi
+cold_report="$CACHE_DIR/report-cold.txt"
+warm_report="$CACHE_DIR/report-warm.txt"
+cleanup() {
+    status=$?
+    rm -rf "$CACHE_DIR"
+    if [ -n "$own_log" ]; then
+        if [ "$status" -eq 0 ]; then
+            rm -f "$own_log"
+        else
+            echo "segcheck: cache-stats log kept at $own_log" >&2
+        fi
+    fi
+}
+trap cleanup EXIT
+
+# 8 conc × 4 P × 2 sizes × 4 RTTs × 2 buffers × 2 CCs × 2 crosses
+# = 2048 cells.
+grid() {
+    go run ./cmd/ssslab -grid -seconds 1 \
+        -concs 1,2,3,4,5,6,7,8 -pflows 2,4,8,16 -sizes 0.25GB,0.5GB \
+        -rtts 8ms,16ms,32ms,64ms -buffers auto,2MB -ccs reno,cubic \
+        -crosses 0,0.3 -cache-stats
+}
+
+fail() {
+    echo "segcheck: $1" >&2
+    echo "  want: $2" >&2
+    echo "  got:  $3" >&2
+    exit 1
+}
+
+echo "== cold 2048-cell grid =="
+grid > "$cold_report"
+cold=$(tail -n 1 "$cold_report")
+echo "cold: $cold" | tee -a "$OUT_LOG"
+want_cold="cache-stats: cells=2048 memo=0 disk=0 segment=0 engine-runs=2048"
+[ "$cold" = "$want_cold" ] || fail "cold run did not execute the whole grid" "$want_cold" "$cold"
+
+echo "== compact =="
+go run ./cmd/ssslab -compact-cache | tee -a "$OUT_LOG"
+[ -f "$CACHE_DIR/cells.seg" ] || fail "compaction left no segment file" "$CACHE_DIR/cells.seg" "missing"
+[ -f "$CACHE_DIR/cells.idx" ] || fail "compaction left no index sidecar" "$CACHE_DIR/cells.idx" "missing"
+
+echo "== warm re-run from the compacted segment (fresh process) =="
+grid > "$warm_report"
+warm=$(tail -n 1 "$warm_report")
+echo "warm: $warm" | tee -a "$OUT_LOG"
+want_warm="cache-stats: cells=2048 memo=0 disk=0 segment=2048 engine-runs=0"
+[ "$warm" = "$want_warm" ] || fail "warm run was not served entirely from the segment" "$want_warm" "$warm"
+
+echo "== warm report byte-identical to cold =="
+# Everything but the cache-stats line (which legitimately differs) must
+# match bit for bit: loaded records stand in for recomputes exactly.
+# sed '$d' (drop last line) rather than GNU-only `head -n -1`.
+if ! diff <(sed '$d' "$cold_report") <(sed '$d' "$warm_report") >> "$OUT_LOG"; then
+    echo "segcheck: warm grid report differs from cold report (diff in $OUT_LOG)" >&2
+    exit 1
+fi
+echo "OK"

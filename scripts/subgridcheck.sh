@@ -3,30 +3,38 @@
 # grid, then a strictly contained sub-grid against the same cache
 # directory in a fresh process, and fail unless the sub-grid reports
 # ZERO engine runs — i.e. every cell was assembled from the superset's
-# cell records. This is the cell store's headline guarantee
-# (PERFORMANCE.md "Sub-grid reuse"); the unit tests assert it in-process,
-# this script asserts it across real CLI invocations.
+# cell records (served from the segment file since repro-cells/v2).
+# This is the cell store's headline guarantee (PERFORMANCE.md "Sub-grid
+# reuse"); the unit tests assert it in-process, this script asserts it
+# across real CLI invocations.
+#
+# Cache-stats lines are appended to $OUT_LOG so CI can upload them as
+# an artifact when the gate fails.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # Hermetic cell store: the superset run below must be the only possible
-# source of warm cells.
+# source of warm cells. Everything written to $OUT_LOG is also echoed
+# to stdout, so a local run without OUT_LOG set needs no file at all —
+# only CI (which uploads it as a failure artifact) points it somewhere.
 CACHE_DIR=$(mktemp -d /tmp/repro-subgrid-cache.XXXXXX)
 export CACHE_DIR
+OUT_LOG="${OUT_LOG:-/dev/null}"
 trap 'rm -rf "$CACHE_DIR"' EXIT
 
 echo "== superset grid (2 RTTs x 2 buffers x 2 CCs x 2 P = 16 cells) =="
-go run ./cmd/ssslab -grid -seconds 1 -concurrency 4 \
+super=$(go run ./cmd/ssslab -grid -seconds 1 -concurrency 4 \
     -rtts 8ms,32ms -buffers auto,2MB -ccs reno,cubic -pflows 2,8 \
-    -cache-stats | tail -n 1
+    -cache-stats | tail -n 1)
+echo "superset: $super" | tee -a "$OUT_LOG"
 
 echo "== contained sub-grid (1 RTT x 1 buffer x 2 CCs x 2 P = 4 cells) =="
 sub=$(go run ./cmd/ssslab -grid -seconds 1 -concurrency 4 \
     -rtts 32ms -buffers 2MB -ccs reno,cubic -pflows 2,8 \
     -cache-stats | tail -n 1)
-echo "$sub"
+echo "sub-grid: $sub" | tee -a "$OUT_LOG"
 
-want="cache-stats: cells=4 memo=0 disk=4 engine-runs=0"
+want="cache-stats: cells=4 memo=0 disk=0 segment=4 engine-runs=0"
 if [ "$sub" != "$want" ]; then
     echo "subgridcheck: sub-grid was not served entirely from superset cell records" >&2
     echo "  want: $want" >&2
