@@ -27,7 +27,7 @@
 // never seen before; pass `-cache-dir off` to disable persistence.
 // With -cache-stats, the run reports how it was served:
 //
-//	cache-stats: cells=48 memo=0 disk=0 segment=48 engine-runs=0
+//	cache-stats: cells=48 memo=0 disk=0 segment=48 engine-runs=0 lock-waits=0
 //
 // -compact-cache folds loose v1 cell records and dead segment space
 // into a fresh segment file, then exits:
@@ -82,7 +82,7 @@ func run(args []string, out io.Writer) error {
 	cacheDir := fs.String("cache-dir", "",
 		"sweep disk cache directory (default $CACHE_DIR, else ~/.cache/repro/sweeps; \"off\" disables)")
 	cacheStats := fs.Bool("cache-stats", false,
-		"after a sim run, report cells requested / from memo / from disk / from segment / engine runs")
+		"after a sim run, report cells requested / from memo / from disk / from segment / engine runs / writer-lock waits")
 	compactCache := fs.Bool("compact-cache", false,
 		"compact the cell store (fold loose cell records and dead segment space into a fresh segment file), then exit")
 	grid := fs.Bool("grid", false, "sweep a multi-axis scenario grid (sim mode only)")

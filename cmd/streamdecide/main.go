@@ -85,7 +85,7 @@ func run(args []string, out io.Writer) error {
 	cacheDir := fs.String("cache-dir", "",
 		"sweep disk cache directory (default $CACHE_DIR, else ~/.cache/repro/sweeps; \"off\" disables)")
 	cacheStats := fs.Bool("cache-stats", false,
-		"grid mode: report cells requested / from memo / from disk / from segment / engine runs after the run")
+		"grid mode: report cells requested / from memo / from disk / from segment / engine runs / writer-lock waits after the run")
 	compactCache := fs.Bool("compact-cache", false,
 		"compact the cell store (fold loose cell records and dead segment space into a fresh segment file), then exit")
 	if err := fs.Parse(args); err != nil {

@@ -24,6 +24,7 @@ package workload
 // cache directory costs one failed attempt, not one per cell.
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -31,6 +32,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // CellRecordVersion stamps every cell record on disk: segment records,
@@ -185,17 +187,40 @@ func (s *cellStore) load(fp string, c GridCell, row *SweepRow) cellSource {
 	return srcMiss
 }
 
-// store appends the record for fp to the segment, best-effort: the
-// first failure degrades the whole store to persistence-off (cache
-// writes must never fail a run, and must not retry per cell).
+// storeRetries / storeRetryDelay shape the transient-fault retry in
+// store: a failed append is retried storeRetries times with
+// exponentially growing sleeps (delay, 2·delay, …) before the store
+// degrades. Vars so tests shrink the delay.
+var (
+	storeRetries    = 2
+	storeRetryDelay = 5 * time.Millisecond
+)
+
+// store appends the record for fp to the segment, best-effort: cache
+// writes must never fail a run. Transient failures (a flaky device, a
+// momentary ENOSPC) are retried with backoff — a short write's torn
+// bytes become dead space and the retry re-appends cleanly — and only
+// a persistently failing append degrades the whole store to
+// persistence-off. Lock-acquisition timeouts skip the retries: the
+// acquisition itself already retried with backoff for the full
+// lockTimeout bound.
 func (s *cellStore) store(fp string, row SweepRow) {
 	dir := s.activeDir()
 	if dir == "" {
 		return
 	}
-	if err := segmentStore(dir).append(fp, row); err != nil {
-		s.disable(err)
+	seg := segmentStore(dir)
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = seg.append(fp, row); err == nil {
+			return
+		}
+		if attempt >= storeRetries || errors.Is(err, errLockTimeout) {
+			break
+		}
+		time.Sleep(storeRetryDelay << attempt)
 	}
+	s.disable(err)
 }
 
 // flush rewrites the segment index sidecar if this run changed it —
@@ -214,21 +239,29 @@ var (
 	cellsFromMemo    atomic.Int64
 	cellsFromDisk    atomic.Int64
 	cellsFromSegment atomic.Int64
+	// lockWaits counts writer-lock acquisitions that found the lock held
+	// and had to back off (once per acquisition, however many retries it
+	// took) — the observable signal that processes are contending on one
+	// cache directory. Incremented by acquireDirLock (fslock.go).
+	lockWaits atomic.Int64
 )
 
 // CacheStats is a snapshot of the process-wide cache counters: how many
 // grid cells were requested through the caches, how many were served by
 // the in-memory memo, how many were loaded from loose v1 cell records
-// on disk, how many from the v2 segment file, and how many experiments
-// actually executed on a simulation engine. For a fully warm request,
-// EngineRuns is 0 and the memo/disk/segment counters account for every
-// requested cell.
+// on disk, how many from the v2 segment file, how many experiments
+// actually executed on a simulation engine, and how many writer-lock
+// acquisitions had to wait behind another writer. For a fully warm
+// request, EngineRuns is 0 and the memo/disk/segment counters account
+// for every requested cell; LockWaits is 0 whenever the process is the
+// directory's only writer (warm runs never take the lock at all).
 type CacheStats struct {
 	CellsRequested   int64
 	CellsFromMemo    int64
 	CellsFromDisk    int64
 	CellsFromSegment int64
 	EngineRuns       int64
+	LockWaits        int64
 }
 
 // ReadCacheStats returns the cumulative counters since process start.
@@ -239,6 +272,7 @@ func ReadCacheStats() CacheStats {
 		CellsFromDisk:    cellsFromDisk.Load(),
 		CellsFromSegment: cellsFromSegment.Load(),
 		EngineRuns:       engineRuns.Load(),
+		LockWaits:        lockWaits.Load(),
 	}
 }
 
@@ -255,13 +289,15 @@ func (s CacheStats) Since(prev CacheStats) CacheStats {
 		CellsFromDisk:    s.CellsFromDisk - prev.CellsFromDisk,
 		CellsFromSegment: s.CellsFromSegment - prev.CellsFromSegment,
 		EngineRuns:       s.EngineRuns - prev.EngineRuns,
+		LockWaits:        s.LockWaits - prev.LockWaits,
 	}
 }
 
 // String renders the stats in the stable machine-greppable form the
-// CLIs print for -cache-stats (CI's subgrid-warm and segstore-warm
-// gates match on "engine-runs=0" with the expected hit counters).
+// CLIs print for -cache-stats (CI's subgrid-warm, segstore-warm and
+// crash-safety gates match on "engine-runs=0" with the expected hit
+// counters).
 func (s CacheStats) String() string {
-	return fmt.Sprintf("cells=%d memo=%d disk=%d segment=%d engine-runs=%d",
-		s.CellsRequested, s.CellsFromMemo, s.CellsFromDisk, s.CellsFromSegment, s.EngineRuns)
+	return fmt.Sprintf("cells=%d memo=%d disk=%d segment=%d engine-runs=%d lock-waits=%d",
+		s.CellsRequested, s.CellsFromMemo, s.CellsFromDisk, s.CellsFromSegment, s.EngineRuns, s.LockWaits)
 }

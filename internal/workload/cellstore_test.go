@@ -357,7 +357,7 @@ func TestCacheStatsCounters(t *testing.T) {
 		d.CellsFromSegment != n || d.EngineRuns != 0 {
 		t.Errorf("segment-warm stats = %v, want cells=%d memo=0 disk=0 segment=%d engine-runs=0", d, n, n)
 	}
-	if got, want := d.String(), "cells=16 memo=0 disk=0 segment=16 engine-runs=0"; got != want {
+	if got, want := d.String(), "cells=16 memo=0 disk=0 segment=16 engine-runs=0 lock-waits=0"; got != want {
 		t.Errorf("String() = %q, want %q", got, want)
 	}
 

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"repro/internal/fsfault"
 )
 
 // cacheDirEnv overrides the default disk cache location, so CI runs in a
@@ -133,7 +135,7 @@ func diskStore(dir, version, fingerprint string, payload any) error {
 	if err != nil {
 		return fmt.Errorf("workload: creating cache temp file: %w", err)
 	}
-	if _, err := tmp.Write(data); err != nil {
+	if _, err := fsfault.Write("cellfile.write", tmp, data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("workload: writing cache file: %w", err)
@@ -142,7 +144,7 @@ func diskStore(dir, version, fingerprint string, payload any) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("workload: closing cache file: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), diskPath(dir, fingerprint)); err != nil {
+	if err := fsfault.Rename("cellfile.rename", tmp.Name(), diskPath(dir, fingerprint)); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("workload: publishing cache file: %w", err)
 	}

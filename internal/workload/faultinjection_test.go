@@ -1,0 +1,347 @@
+package workload
+
+// Fault-injection tests: every failure mode the fsfault layer can
+// inject — transient and persistent append errors, short writes,
+// sidecar write/rename failures, mid-compaction failures — must leave
+// the store readable, degrade at worst to single-cell recomputation,
+// and repair on the next open or compaction. Each case asserts
+// fsfault.Fired so a refactor that routes around a failpoint fails the
+// test instead of silently un-testing the path.
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fsfault"
+)
+
+// resetFaultState clears fsfault and the degrade-warning state for one
+// test, restoring both on cleanup.
+func resetFaultState(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	persistWarnOnce = sync.Once{}
+	persistWarnW = &buf
+	t.Cleanup(func() {
+		fsfault.Reset()
+		persistWarnW = os.Stderr
+	})
+	return &buf
+}
+
+// coldRun executes the axes cold into dir and returns the rows.
+func coldRun(t *testing.T, dir string, a Axes) []GridRow {
+	t.Helper()
+	c := NewGridCache()
+	c.SetDiskDir(dir)
+	g, err := c.Get(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Rows
+}
+
+// warmRunStats re-opens the store as a fresh process would and runs the
+// axes warm, returning the rows and the run's counter deltas.
+func warmRunStats(t *testing.T, dir string, a Axes) ([]GridRow, CacheStats) {
+	t.Helper()
+	ResetSegmentStores()
+	before := ReadCacheStats()
+	rows := coldRun(t, dir, a)
+	return rows, ReadCacheStats().Since(before)
+}
+
+// TestTransientAppendFaultRetries: a write error that clears on retry
+// (flaky device) costs nothing visible — the retried append lands, the
+// store does not degrade, and a fresh open serves every cell.
+func TestTransientAppendFaultRetries(t *testing.T) {
+	buf := resetFaultState(t)
+	dir := t.TempDir()
+	fsfault.Enable("segstore.append.write", fsfault.Fault{Err: fsfault.ErrInjectedEIO, Once: true})
+
+	ref := coldRun(t, dir, subAxes())
+	if n := fsfault.Fired("segstore.append.write"); n != 1 {
+		t.Fatalf("append failpoint fired %d times, want 1", n)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("transient fault degraded the store: %q", buf.String())
+	}
+	fsfault.Reset()
+
+	rows, d := warmRunStats(t, dir, subAxes())
+	if d.EngineRuns != 0 {
+		t.Errorf("warm run after transient fault executed %d experiments, want 0", d.EngineRuns)
+	}
+	if gridRowsJSON(t, rows) != gridRowsJSON(t, ref) {
+		t.Error("warm rows differ from the faulted cold run")
+	}
+}
+
+// TestPersistentAppendFaultDegrades: a write error that never clears —
+// dead device, out of space — degrades the store after the bounded
+// retries, with ONE warning, and the run still completes correctly.
+func TestPersistentAppendFaultDegrades(t *testing.T) {
+	for name, injected := range map[string]error{
+		"eio":    fsfault.ErrInjectedEIO,
+		"enospc": fsfault.ErrInjectedENOSPC,
+	} {
+		t.Run(name, func(t *testing.T) {
+			buf := resetFaultState(t)
+			dir := t.TempDir()
+			fsfault.Enable("segstore.append.write", fsfault.Fault{Err: injected})
+
+			before := EngineRunCount()
+			rows := coldRun(t, dir, subAxes())
+			if len(rows) == 0 {
+				t.Fatal("faulted run produced no rows")
+			}
+			if runs := EngineRunCount() - before; runs != int64(len(subAxes().Cells())) {
+				t.Errorf("faulted cold run executed %d experiments, want %d", runs, len(subAxes().Cells()))
+			}
+			if fsfault.Fired("segstore.append.write") == 0 {
+				t.Fatal("append failpoint never fired")
+			}
+			if got := strings.Count(buf.String(), "continuing without persistence"); got != 1 {
+				t.Errorf("degrade warned %d times, want exactly 1 (stderr: %q)", got, buf.String())
+			}
+			if !strings.Contains(buf.String(), injected.Error()) {
+				t.Errorf("warning does not carry the injected error: %q", buf.String())
+			}
+		})
+	}
+}
+
+// TestShortWriteTornRecordReclaimed: a short write tears a record at
+// the segment tail. The retry re-appends it cleanly past the torn
+// bytes, so a fresh open serves every cell; the torn bytes are dead
+// space that compaction measurably reclaims.
+func TestShortWriteTornRecordReclaimed(t *testing.T) {
+	buf := resetFaultState(t)
+	dir := t.TempDir()
+	const torn = 20 // mid-record: past the header, inside the payload
+	fsfault.Enable("segstore.append.write", fsfault.Fault{
+		AllowBytes: torn, Err: io.ErrShortWrite, Once: true,
+	})
+
+	ref := coldRun(t, dir, fastAxes())
+	if n := fsfault.Fired("segstore.append.write"); n != 1 {
+		t.Fatalf("append failpoint fired %d times, want 1", n)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("transient short write degraded the store: %q", buf.String())
+	}
+	fsfault.Reset()
+
+	rows, d := warmRunStats(t, dir, fastAxes())
+	if d.EngineRuns != 0 {
+		t.Errorf("warm run over torn segment executed %d experiments, want 0", d.EngineRuns)
+	}
+	if gridRowsJSON(t, rows) != gridRowsJSON(t, ref) {
+		t.Error("warm rows differ after torn append")
+	}
+
+	st, err := CompactDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ReclaimedBytes != torn {
+		t.Errorf("compaction reclaimed %d bytes, want the %d torn bytes", st.ReclaimedBytes, torn)
+	}
+	if st.Records != len(fastAxes().Cells()) {
+		t.Errorf("compacted segment holds %d records, want %d", st.Records, len(fastAxes().Cells()))
+	}
+	rows, d = warmRunStats(t, dir, fastAxes())
+	if d.EngineRuns != 0 || gridRowsJSON(t, rows) != gridRowsJSON(t, ref) {
+		t.Error("store not fully warm after compacting the torn segment")
+	}
+}
+
+// TestSidecarFaultsAreSilent: the sidecar is an accelerator — a failed
+// sidecar write or rename must not warn, must not degrade, and must
+// not lose a single record: the next open recovers everything by tail
+// scan.
+func TestSidecarFaultsAreSilent(t *testing.T) {
+	for name, fault := range map[string]struct {
+		point string
+		f     fsfault.Fault
+	}{
+		"write-eio":   {"segstore.sidecar.write", fsfault.Fault{Err: fsfault.ErrInjectedEIO}},
+		"rename-fail": {"segstore.sidecar.rename", fsfault.Fault{Err: fsfault.ErrInjectedFailure}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			buf := resetFaultState(t)
+			dir := t.TempDir()
+			fsfault.Enable(fault.point, fault.f)
+
+			ref := coldRun(t, dir, subAxes())
+			if fsfault.Fired(fault.point) == 0 {
+				t.Fatalf("%s never fired", fault.point)
+			}
+			if buf.Len() != 0 {
+				t.Errorf("sidecar fault warned: %q", buf.String())
+			}
+			if _, err := os.Stat(idxPathOf(dir)); !os.IsNotExist(err) {
+				t.Errorf("sidecar exists despite injected %s fault", name)
+			}
+			// The failed write/rename must not leave temp litter.
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ent := range entries {
+				if isSegmentTempName(ent.Name()) {
+					t.Errorf("temp litter %q left after sidecar fault", ent.Name())
+				}
+			}
+			fsfault.Reset()
+
+			rows, d := warmRunStats(t, dir, subAxes())
+			if d.EngineRuns != 0 {
+				t.Errorf("tail-scan recovery executed %d experiments, want 0", d.EngineRuns)
+			}
+			if gridRowsJSON(t, rows) != gridRowsJSON(t, ref) {
+				t.Error("recovered rows differ from the original run")
+			}
+			// The warm run's flush retries the sidecar; with the fault
+			// cleared it must land.
+			if _, err := os.Stat(idxPathOf(dir)); err != nil {
+				t.Errorf("sidecar not restored by the next flush: %v", err)
+			}
+		})
+	}
+}
+
+// TestCompactWriteFaultLeavesStoreIntact: a failed compaction write
+// surfaces as an error and changes nothing — the old segment, sidecar
+// and in-memory index keep serving every cell.
+func TestCompactWriteFaultLeavesStoreIntact(t *testing.T) {
+	resetFaultState(t)
+	dir := t.TempDir()
+	ref := seedCellRecords(t, dir, subAxes())
+
+	fsfault.Enable("segstore.compact.write", fsfault.Fault{Err: fsfault.ErrInjectedENOSPC})
+	if _, err := CompactDiskCache(dir); !errors.Is(err, fsfault.ErrInjectedENOSPC) {
+		t.Fatalf("compact error = %v, want the injected ENOSPC", err)
+	}
+	if fsfault.Fired("segstore.compact.write") == 0 {
+		t.Fatal("compact write failpoint never fired")
+	}
+	fsfault.Reset()
+
+	if _, err := os.Stat(idxPathOf(dir)); err != nil {
+		t.Errorf("sidecar lost to a failed compaction write: %v", err)
+	}
+	rows, d := warmRunStats(t, dir, subAxes())
+	if d.EngineRuns != 0 {
+		t.Errorf("store lost records to a failed compaction: %d engine runs", d.EngineRuns)
+	}
+	if gridRowsJSON(t, rows) != gridRowsJSON(t, ref) {
+		t.Error("rows differ after failed compaction")
+	}
+}
+
+// TestCompactRenameFaultFallsBackToScan: a compaction that dies at the
+// final rename has already removed the sidecar (deliberately — see
+// compact). The store must still serve every cell via full scan, and
+// the next in-process flush restores the sidecar.
+func TestCompactRenameFaultFallsBackToScan(t *testing.T) {
+	resetFaultState(t)
+	dir := t.TempDir()
+	ref := seedCellRecords(t, dir, subAxes())
+
+	fsfault.Enable("segstore.compact.rename", fsfault.Fault{Err: fsfault.ErrInjectedFailure})
+	if _, err := CompactDiskCache(dir); !errors.Is(err, fsfault.ErrInjectedFailure) {
+		t.Fatalf("compact error = %v, want the injected rename failure", err)
+	}
+	fsfault.Reset()
+
+	if _, err := os.Stat(idxPathOf(dir)); !os.IsNotExist(err) {
+		t.Error("sidecar still present: compact must remove it before the swap")
+	}
+	if _, err := os.Stat(segPathOf(dir)); err != nil {
+		t.Fatalf("segment lost to a failed compaction swap: %v", err)
+	}
+
+	rows, d := warmRunStats(t, dir, subAxes())
+	if d.EngineRuns != 0 {
+		t.Errorf("sidecar-less store executed %d experiments, want 0 (full scan)", d.EngineRuns)
+	}
+	if gridRowsJSON(t, rows) != gridRowsJSON(t, ref) {
+		t.Error("rows differ after failed compaction swap")
+	}
+	if _, err := os.Stat(idxPathOf(dir)); err != nil {
+		t.Errorf("sidecar not restored by the post-recovery flush: %v", err)
+	}
+
+	// A retried compaction (fault cleared) completes and is idempotent.
+	if _, err := CompactDiskCache(dir); err != nil {
+		t.Fatalf("retried compaction: %v", err)
+	}
+	st, err := CompactDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ReclaimedBytes != 0 {
+		t.Errorf("second compaction reclaimed %d bytes, want 0", st.ReclaimedBytes)
+	}
+}
+
+// TestCellFileFaultDegrades: the loose-file (v1) write path is also
+// behind failpoints; diskStore errors propagate so callers can degrade.
+func TestCellFileFaultDegrades(t *testing.T) {
+	resetFaultState(t)
+	dir := t.TempDir()
+	for _, point := range []string{"cellfile.write", "cellfile.rename"} {
+		fsfault.Reset()
+		fsfault.Enable(point, fsfault.Fault{Err: fsfault.ErrInjectedEIO})
+		err := diskStore(dir, CellRecordVersion, "fp-faulted", SweepRow{Concurrency: 1})
+		if !errors.Is(err, fsfault.ErrInjectedEIO) {
+			t.Errorf("%s: diskStore error = %v, want injected EIO", point, err)
+		}
+		if fsfault.Fired(point) == 0 {
+			t.Errorf("%s never fired", point)
+		}
+		entries, readErr := os.ReadDir(dir)
+		if readErr != nil {
+			t.Fatal(readErr)
+		}
+		for _, ent := range entries {
+			if filepath.Ext(ent.Name()) == ".json" || isSegmentTempName(ent.Name()) {
+				t.Errorf("%s: file %q left behind by failed write", point, ent.Name())
+			}
+		}
+	}
+}
+
+// TestLockAcquireFault: an injected lock-acquisition failure follows
+// the same degrade path as a real one — retries, then persistence off
+// with one warning.
+func TestLockAcquireFault(t *testing.T) {
+	buf := resetFaultState(t)
+	dir := t.TempDir()
+	fsfault.Enable("fslock.acquire", fsfault.Fault{Err: fsfault.ErrInjectedFailure})
+
+	oldDelay := storeRetryDelay
+	storeRetryDelay = time.Millisecond
+	defer func() { storeRetryDelay = oldDelay }()
+
+	var s cellStore
+	s.setDir(dir)
+	s.store("fp-lockfault", SweepRow{Concurrency: 1, ParallelFlows: 1, Worst: time.Second, TransferTimes: []float64{1}})
+	if s.activeDir() != "" {
+		t.Error("store did not degrade on persistent lock-acquire failure")
+	}
+	if got := strings.Count(buf.String(), "continuing without persistence"); got != 1 {
+		t.Errorf("degrade warned %d times, want 1", got)
+	}
+	if fsfault.Fired("fslock.acquire") == 0 {
+		t.Error("fslock.acquire never fired")
+	}
+}

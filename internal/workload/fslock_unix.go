@@ -1,0 +1,46 @@
+//go:build unix
+
+package workload
+
+// Unix flock(2) implementation of the writer lock: an exclusive,
+// non-blocking advisory lock on cells.lock. The kernel releases the
+// lock when the holder's last descriptor closes — including on crash
+// or SIGKILL — so stale locks cannot exist; a leftover lock FILE is
+// inert and is never unlinked (removing it would let a new acquirer
+// create a fresh inode while an older one still holds the deleted one,
+// splitting the lock).
+
+import (
+	"os"
+	"syscall"
+)
+
+// tryLockFile makes one non-blocking attempt at the exclusive lock,
+// opening (creating if needed) the lock file fresh per attempt. Returns
+// the locked handle on success; (nil, false, nil) when another process
+// — or another handle in this one — holds the lock.
+func tryLockFile(path string) (*os.File, bool, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, false, err
+	}
+	switch err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); {
+	case err == nil:
+		return f, true, nil
+	case err == syscall.EWOULDBLOCK || err == syscall.EAGAIN:
+		f.Close()
+		return nil, false, nil
+	default:
+		f.Close()
+		return nil, false, err
+	}
+}
+
+// unlockFile releases the flock by closing the handle. The file itself
+// stays on disk (see package comment on why it must).
+func unlockFile(f *os.File, _ string) {
+	if f != nil {
+		_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}
+}

@@ -43,6 +43,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
+
+	"repro/internal/fsfault"
 )
 
 const (
@@ -135,6 +138,11 @@ func (s *segStore) idxPath() string { return filepath.Join(s.dir, segmentIndexNa
 func (s *segStore) close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.closeLocked()
+}
+
+// closeLocked is close for callers already holding s.mu.
+func (s *segStore) closeLocked() {
 	if s.rf != nil {
 		s.rf.Close()
 		s.rf = nil
@@ -168,6 +176,10 @@ func (s *segStore) ensureLoaded() {
 		return
 	}
 	s.loaded = true
+	// First open per process per directory: clear temp-file litter left
+	// by crashed writers (age-guarded, so a live writer's in-flight
+	// temps survive; compaction removes litter unconditionally).
+	sweepStaleTempFiles(s.dir)
 	s.index = make(map[string]segEntry)
 	f, err := os.Open(s.segPath())
 	if err != nil {
@@ -347,10 +359,63 @@ func encodeSegRecord(fp string, row SweepRow) ([]byte, error) {
 	return buf, nil
 }
 
-// append writes one record to the segment and indexes it in memory. The
-// sidecar is NOT rewritten per record — flushIndex does that once per
-// grid run — so a crash between append and flush costs only a tail scan
-// on the next open, never data.
+// resyncLocked reconciles the in-memory state with whatever other
+// processes did to the segment since we last looked. Caller holds s.mu
+// AND the directory writer lock, so the on-disk state is quiescent:
+//
+//   - segment gone (foreign purge): reset to the empty store;
+//   - segment replaced (foreign compaction swapped a new inode in):
+//     drop everything and reload from the new file — our handles point
+//     at the old, unlinked inode;
+//   - segment grew (foreign appends): index the new records by
+//     scanning the gap, so our index — and any sidecar we later write
+//     — covers every writer's records, not just our own.
+func (s *segStore) resyncLocked() {
+	st, err := os.Stat(s.segPath())
+	if err != nil {
+		if s.rf == nil && s.wf == nil && len(s.index) == 0 {
+			return // nothing on disk, nothing in memory: already in sync
+		}
+		// Foreign purge: the segment our handles point at is gone.
+		s.closeLocked()
+		s.loaded = true
+		s.index = make(map[string]segEntry)
+		return
+	}
+	var cur os.FileInfo
+	if s.rf != nil {
+		cur, _ = s.rf.Stat()
+	} else if s.wf != nil {
+		cur, _ = s.wf.Stat()
+	}
+	if cur != nil && !os.SameFile(st, cur) {
+		// Foreign compaction: reload index and handles from the new
+		// segment (closeLocked clears loaded, ensureLoaded rebuilds).
+		s.closeLocked()
+		s.ensureLoaded()
+		return
+	}
+	if st.Size() > s.size {
+		if s.rf == nil {
+			s.rf, _ = os.Open(s.segPath())
+		}
+		if s.rf != nil {
+			// Foreign appends: whole records (the writer held this
+			// lock), so the scan frames them all; anything torn by a
+			// foreign crash ends the scan and stays dead space.
+			s.scanTail(s.size, st.Size())
+		}
+		s.size = st.Size()
+	}
+}
+
+// append writes one record to the segment and indexes it in memory,
+// holding the directory's cross-process writer lock around the
+// stat+write so concurrent processes' appends serialize and every index
+// entry points where its record actually landed. The sidecar is NOT
+// rewritten per record — flushIndex does that once per grid run — so a
+// crash between append and flush costs only a tail scan on the next
+// open, never data.
 func (s *segStore) append(fp string, row SweepRow) error {
 	buf, err := encodeSegRecord(fp, row)
 	if err != nil {
@@ -359,27 +424,30 @@ func (s *segStore) append(fp string, row SweepRow) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.ensureLoaded()
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return fmt.Errorf("workload: creating cache dir: %w", err)
+	}
+	lk, err := acquireDirLock(s.dir)
+	if err != nil {
+		return err
+	}
+	defer lk.release()
+	s.resyncLocked()
 	if s.wf == nil {
-		if err := os.MkdirAll(s.dir, 0o755); err != nil {
-			return fmt.Errorf("workload: creating cache dir: %w", err)
-		}
 		wf, err := os.OpenFile(s.segPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return fmt.Errorf("workload: opening segment file: %w", err)
 		}
 		s.wf = wf
 	}
-	// O_APPEND writes land at the physical EOF, which another process
-	// sharing the cache directory may have moved past our counter; take
-	// the offset from the file itself so our index entry points where
-	// the record actually lands (best-effort — an interleaved foreign
-	// write between stat and write is caught later by the CRC guard and
-	// costs a recompute, never a wrong row).
+	// Under the lock the resync'd counter IS the physical EOF, which is
+	// where this O_APPEND write lands.
 	off := s.size
-	if st, err := s.wf.Stat(); err == nil {
-		off = st.Size()
-	}
-	if _, err := s.wf.Write(buf); err != nil {
+	if n, err := fsfault.Write("segstore.append.write", s.wf, buf); err != nil {
+		// A short write leaves a torn record at the tail: dead space the
+		// CRC guard skips and compaction reclaims. Advance past the torn
+		// bytes so a retried append indexes its record at the true EOF.
+		s.size = off + int64(n)
 		return fmt.Errorf("workload: appending cell record: %w", err)
 	}
 	if s.rf == nil {
@@ -395,14 +463,28 @@ func (s *segStore) append(fp string, row SweepRow) error {
 }
 
 // flushIndex rewrites the sidecar atomically if the index changed since
-// the last write. Called once per grid run (runGridIncremental), not
-// per record. Failure is silent: the sidecar is an accelerator, and the
-// tail scan recovers everything it would have said.
+// the last write, under the directory writer lock so the sidecar's
+// cover point and entries reflect a quiescent segment (the lock-held
+// resync folds in any foreign appends first — a sidecar must never
+// hide another writer's records below its cover point). Called once
+// per grid run (runGridIncremental), not per record. Failure —
+// including failure to get the lock — is silent: the sidecar is an
+// accelerator, and the tail scan recovers everything it would have
+// said.
 func (s *segStore) flushIndex() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.loaded || s.dirty == 0 {
 		return
+	}
+	lk, err := acquireDirLock(s.dir)
+	if err != nil {
+		return
+	}
+	defer lk.release()
+	s.resyncLocked()
+	if s.dirty == 0 {
+		return // the resync replaced our state with an already-covered one
 	}
 	if s.writeSidecar() == nil {
 		s.dirty = 0
@@ -431,7 +513,7 @@ func (s *segStore) writeSidecar() error {
 	if err != nil {
 		return err
 	}
-	if _, err := tmp.Write(data); err != nil {
+	if _, err := fsfault.Write("segstore.sidecar.write", tmp, data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return err
@@ -440,7 +522,7 @@ func (s *segStore) writeSidecar() error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	if err := os.Rename(tmp.Name(), s.idxPath()); err != nil {
+	if err := fsfault.Rename("segstore.sidecar.rename", tmp.Name(), s.idxPath()); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}
@@ -478,27 +560,26 @@ func CompactDiskCache(dir string) (CompactStats, error) {
 	return segmentStore(dir).compact()
 }
 
-// compact is CompactDiskCache's engine; it holds the store lock for the
-// whole rewrite, so concurrent appends and index lookups serialize
-// around it. A load whose ReadAt was already in flight (reads run
-// outside the lock) fails against the closed old handle and reports a
-// miss; its generation-guarded drop cannot evict the relocated entry,
-// so the cost is one recompute, never a lost record.
+// compact is CompactDiskCache's engine; it holds the store mutex for
+// the whole rewrite, so in-process appends and index lookups serialize
+// around it, and the directory writer lock, so cross-process appenders
+// queue (bounded by their lockTimeout) instead of appending to a
+// segment that is about to be replaced. A load whose ReadAt was already
+// in flight (reads run outside both locks) fails against the closed old
+// handle and reports a miss; its generation-guarded drop cannot evict
+// the relocated entry, so the cost is one recompute, never a lost
+// record.
 func (s *segStore) compact() (CompactStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.ensureLoaded()
 
 	var st CompactStats
-	oldSegBytes := int64(0)
-	if fi, err := os.Stat(s.segPath()); err == nil {
-		oldSegBytes = fi.Size()
-	}
 
 	// A directory with nothing to compact — no indexed records, no
 	// loose cell files — is a successful no-op: compaction must not
-	// fabricate store files (or the directory itself) where no cache
-	// state exists.
+	// fabricate store files (or the directory itself, or even the lock
+	// file) where no cache state exists.
 	if len(s.index) == 0 {
 		hasLoose := false
 		entries, err := os.ReadDir(s.dir)
@@ -520,6 +601,21 @@ func (s *segStore) compact() (CompactStats, error) {
 		}
 	}
 
+	lk, err := acquireDirLock(s.dir)
+	if err != nil {
+		return st, err
+	}
+	defer lk.release()
+	// Fold in anything other processes appended since we last looked:
+	// compaction rewrites the whole store, so its input must be every
+	// writer's records, not just ours.
+	s.resyncLocked()
+
+	oldSegBytes := int64(0)
+	if fi, err := os.Stat(s.segPath()); err == nil {
+		oldSegBytes = fi.Size()
+	}
+
 	// Stream straight into the temp segment: one record in memory at a
 	// time, so compacting a 10⁵-cell store costs O(record), not
 	// O(segment), of RSS. Temp + rename, with the sidecar removed
@@ -536,7 +632,7 @@ func (s *segStore) compact() (CompactStats, error) {
 	newIndex := make(map[string]segEntry, len(s.index))
 	var off int64
 	writeRec := func(key string, buf []byte) error {
-		if _, err := tmp.Write(buf); err != nil {
+		if _, err := fsfault.Write("segstore.compact.write", tmp, buf); err != nil {
 			tmp.Close()
 			os.Remove(tmp.Name())
 			return fmt.Errorf("workload: writing compacted segment: %w", err)
@@ -619,8 +715,14 @@ func (s *segStore) compact() (CompactStats, error) {
 		os.Remove(tmp.Name())
 		return st, fmt.Errorf("workload: writing compacted segment: %w", err)
 	}
+	// The sidecar goes away BEFORE the segment swaps: a crash (or an
+	// injected failure) between the two leaves a sidecar-less segment —
+	// full scan, correct — never a sidecar describing the old segment's
+	// offsets. Mark the index dirty so a later flush can restore the
+	// sidecar if the swap below never happens.
+	s.dirty++
 	os.Remove(s.idxPath())
-	if err := os.Rename(tmp.Name(), s.segPath()); err != nil {
+	if err := fsfault.Rename("segstore.compact.rename", tmp.Name(), s.segPath()); err != nil {
 		os.Remove(tmp.Name())
 		return st, fmt.Errorf("workload: publishing compacted segment: %w", err)
 	}
@@ -662,20 +764,51 @@ func (s *segStore) compact() (CompactStats, error) {
 	return st, nil
 }
 
+// isSegmentTempName recognizes the store's temp files: v1 cell-record
+// temps plus segment/sidecar temps.
+func isSegmentTempName(name string) bool {
+	if !strings.HasSuffix(name, ".tmp") {
+		return false
+	}
+	return strings.HasPrefix(name, ".cell-") || strings.HasPrefix(name, ".seg-") || strings.HasPrefix(name, ".idx-")
+}
+
 // removeSegmentTempFiles deletes leftover temp files from crashed
-// writers: v1 cell-record temps plus segment/sidecar temps.
+// writers, unconditionally — compaction and purge call it, and both
+// already hold (or just invalidated) the store's state.
 func removeSegmentTempFiles(dir string) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return
 	}
 	for _, ent := range entries {
-		name := ent.Name()
-		if ent.IsDir() || !strings.HasSuffix(name, ".tmp") {
+		if !ent.IsDir() && isSegmentTempName(ent.Name()) {
+			os.Remove(filepath.Join(dir, ent.Name()))
+		}
+	}
+}
+
+// staleTempMaxAge is how old a temp file must be before a normal store
+// open removes it as crash litter. In-flight temps are seconds old
+// (one sidecar or compaction write); an hour of age means the writer
+// that owned it is long gone.
+const staleTempMaxAge = time.Hour
+
+// sweepStaleTempFiles removes crash litter on a normal store open —
+// age-guarded, unlike the compaction-time sweep, because another LIVE
+// writer's in-flight temp may be sitting in the directory right now
+// and deleting it would fail that writer's rename.
+func sweepStaleTempFiles(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, ent := range entries {
+		if ent.IsDir() || !isSegmentTempName(ent.Name()) {
 			continue
 		}
-		if strings.HasPrefix(name, ".cell-") || strings.HasPrefix(name, ".seg-") || strings.HasPrefix(name, ".idx-") {
-			os.Remove(filepath.Join(dir, name))
+		if info, err := ent.Info(); err == nil && time.Since(info.ModTime()) > staleTempMaxAge {
+			os.Remove(filepath.Join(dir, ent.Name()))
 		}
 	}
 }

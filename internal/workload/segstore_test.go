@@ -468,7 +468,7 @@ func TestSegmentCorruptionRecovery(t *testing.T) {
 				t.Fatal(err)
 			}
 			for _, ent := range entries {
-				if n := ent.Name(); n != segmentFileName && n != segmentIndexName {
+				if n := ent.Name(); n != segmentFileName && n != segmentIndexName && n != lockFileName {
 					t.Errorf("unexpected file %q after compaction", n)
 				}
 			}

@@ -1,0 +1,257 @@
+package workload
+
+// Multi-process torture tests: the crash-safety claims that cannot be
+// proven in-process. Each test re-execs this test binary as child
+// processes (the standard re-exec pattern: the child runs only
+// TestTortureChildProcess, selected by environment variables) so that
+// real, separate processes append to one cache directory, really die
+// mid-write (fsfault kill faults, armed through the FSFAULT env var),
+// and really release their flocks on death.
+//
+// The parent asserts the paper-reproduction invariants end to end:
+// every cell readable, rows byte-identical to a serial run, bounded
+// recomputation after a crash, and compaction reclaiming all dead
+// space. scripts/crashcheck.sh repeats the same story against the real
+// ssslab binary with SIGKILL instead of injected kills.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/fsfault"
+)
+
+// Child-selection environment variables.
+const (
+	tortureDirEnv     = "REPRO_TORTURE_DIR"
+	tortureOpEnv      = "REPRO_TORTURE_OP"
+	tortureVariantEnv = "REPRO_TORTURE_VARIANT"
+)
+
+// tortureVariant returns child v's grid: overlapping slices of
+// fastAxes whose union is the full 16-cell grid, with variant 0 the
+// full grid itself — so every cell is contended by at least two
+// writers.
+func tortureVariant(v int) Axes {
+	a := fastAxes()
+	switch v % 4 {
+	case 1:
+		a.Concurrencies = a.Concurrencies[:1] // half the grid
+	case 2:
+		a.RTTs = a.RTTs[1:] // a different, overlapping half
+	case 3:
+		a.Buffers = a.Buffers[:1] // overlaps both halves above
+	}
+	return a
+}
+
+// TestTortureChildProcess is the re-exec entry point, inert unless the
+// torture environment variables select an operation.
+func TestTortureChildProcess(t *testing.T) {
+	dir := os.Getenv(tortureDirEnv)
+	if dir == "" {
+		t.Skip("torture child entry point; spawned by the torture tests")
+	}
+	switch op := os.Getenv(tortureOpEnv); op {
+	case "grid":
+		v, err := strconv.Atoi(os.Getenv(tortureVariantEnv))
+		if err != nil {
+			t.Fatalf("bad %s: %v", tortureVariantEnv, err)
+		}
+		c := NewGridCache()
+		c.SetDiskDir(dir)
+		if _, err := c.Get(tortureVariant(v), 0); err != nil {
+			t.Fatal(err)
+		}
+	case "compact":
+		if _, err := CompactDiskCache(dir); err != nil {
+			t.Fatal(err)
+		}
+	default:
+		t.Fatalf("unknown %s %q", tortureOpEnv, op)
+	}
+}
+
+// tortureChild builds the re-exec command for one child process.
+func tortureChild(dir, op string, extraEnv ...string) *exec.Cmd {
+	cmd := exec.Command(os.Args[0], "-test.run=^TestTortureChildProcess$", "-test.count=1")
+	cmd.Env = append(os.Environ(),
+		tortureDirEnv+"="+dir,
+		tortureOpEnv+"="+op,
+		"FSFAULT=", // children inherit a clean fault state unless overridden
+	)
+	cmd.Env = append(cmd.Env, extraEnv...)
+	return cmd
+}
+
+// exitCode extracts a child's exit status (0 when err is nil).
+func exitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		return ee.ExitCode()
+	}
+	return -1
+}
+
+// TestMultiProcessTortureWriters: four real processes cold-run
+// overlapping grids into one cache directory concurrently. Afterwards
+// every cell must be readable, the union grid byte-identical to a
+// serial run, and compaction must reclaim every byte the contention
+// duplicated — the multi-writer contract the directory lock exists to
+// provide.
+func TestMultiProcessTortureWriters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec torture test skipped in -short mode")
+	}
+	dir := t.TempDir()
+
+	// Serial reference: the same union grid, clean cache, this process.
+	ref := coldRun(t, t.TempDir(), fastAxes())
+
+	const writers = 4
+	type result struct {
+		v    int
+		code int
+		out  string
+	}
+	results := make(chan result, writers)
+	for v := 0; v < writers; v++ {
+		go func(v int) {
+			cmd := tortureChild(dir, "grid", fmt.Sprintf("%s=%d", tortureVariantEnv, v))
+			out, err := cmd.CombinedOutput()
+			results <- result{v: v, code: exitCode(err), out: string(out)}
+		}(v)
+	}
+	for i := 0; i < writers; i++ {
+		r := <-results
+		if r.code != 0 {
+			t.Fatalf("torture writer %d exited %d:\n%s", r.v, r.code, r.out)
+		}
+	}
+
+	rows, d := warmRunStats(t, dir, fastAxes())
+	if d.EngineRuns != 0 {
+		t.Errorf("union grid after torture executed %d experiments, want 0", d.EngineRuns)
+	}
+	if gridRowsJSON(t, rows) != gridRowsJSON(t, ref) {
+		t.Error("torture-built cache rows differ from the serial reference")
+	}
+
+	// Contended duplicate appends are dead space; one compaction must
+	// reclaim ALL of it (the second finds nothing).
+	first, err := CompactDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Records != len(fastAxes().Cells()) {
+		t.Errorf("compacted store holds %d records, want %d", first.Records, len(fastAxes().Cells()))
+	}
+	second, err := CompactDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.ReclaimedBytes != 0 {
+		t.Errorf("second compaction reclaimed %d bytes, want 0 (first left dead space)", second.ReclaimedBytes)
+	}
+	rows, d = warmRunStats(t, dir, fastAxes())
+	if d.EngineRuns != 0 || gridRowsJSON(t, rows) != gridRowsJSON(t, ref) {
+		t.Error("store not fully warm and identical after post-torture compaction")
+	}
+}
+
+// TestKillMidAppendRecovers: a child process killed at an exact byte
+// offset mid-append (fsfault kill@N — the deterministic SIGKILL) loses
+// at most the cells it had not durably appended. The next run
+// recomputes exactly the missing cells, matches the serial reference
+// byte for byte, and leaves the store fully warm.
+func TestKillMidAppendRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec torture test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	ref := coldRun(t, t.TempDir(), fastAxes())
+
+	cmd := tortureChild(dir, "grid",
+		tortureVariantEnv+"=0",
+		"FSFAULT=segstore.append.write=kill@2000")
+	out, err := cmd.CombinedOutput()
+	if code := exitCode(err); code != fsfault.KillExitCode {
+		t.Fatalf("killed child exited %d, want %d:\n%s", code, fsfault.KillExitCode, out)
+	}
+
+	ResetSegmentStores()
+	recovered := segmentRecordCount(dir)
+	total := len(fastAxes().Cells())
+	if recovered >= total {
+		t.Fatalf("child recorded all %d cells despite being killed mid-append", total)
+	}
+
+	rows, d := warmRunStats(t, dir, fastAxes())
+	if d.EngineRuns != int64(total-recovered) {
+		t.Errorf("recovery run executed %d experiments, want exactly the %d missing cells",
+			d.EngineRuns, total-recovered)
+	}
+	if gridRowsJSON(t, rows) != gridRowsJSON(t, ref) {
+		t.Error("recovered rows differ from the serial reference")
+	}
+	rows, d = warmRunStats(t, dir, fastAxes())
+	if d.EngineRuns != 0 {
+		t.Errorf("store not fully warm after recovery: %d engine runs", d.EngineRuns)
+	}
+	if gridRowsJSON(t, rows) != gridRowsJSON(t, ref) {
+		t.Error("warm rows differ from the serial reference")
+	}
+}
+
+// TestKillMidCompactionServes: a process killed between compaction's
+// sidecar removal and segment swap leaves a sidecar-less old segment
+// plus a temp file. Nothing is lost: a fresh process serves every cell
+// by full scan, and the next successful compaction cleans the litter.
+func TestKillMidCompactionServes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec torture test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	ref := seedCellRecords(t, dir, fastAxes())
+
+	cmd := tortureChild(dir, "compact", "FSFAULT=segstore.compact.rename=kill@0")
+	out, err := cmd.CombinedOutput()
+	if code := exitCode(err); code != fsfault.KillExitCode {
+		t.Fatalf("killed compactor exited %d, want %d:\n%s", code, fsfault.KillExitCode, out)
+	}
+	if _, err := os.Stat(idxPathOf(dir)); !os.IsNotExist(err) {
+		t.Error("sidecar survived the mid-compaction kill; compact must remove it before the swap")
+	}
+
+	rows, d := warmRunStats(t, dir, fastAxes())
+	if d.EngineRuns != 0 {
+		t.Errorf("sidecar-less store executed %d experiments, want 0 (full scan)", d.EngineRuns)
+	}
+	if gridRowsJSON(t, rows) != gridRowsJSON(t, ref) {
+		t.Error("rows differ after mid-compaction kill")
+	}
+
+	if _, err := CompactDiskCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		if n := ent.Name(); n != segmentFileName && n != segmentIndexName && n != lockFileName {
+			t.Errorf("unexpected file %q after cleanup compaction", n)
+		}
+	}
+	if !strings.Contains(gridRowsJSON(t, ref), "Concurrency") {
+		t.Fatal("reference rows unexpectedly empty") // guards the byte-compares above
+	}
+}

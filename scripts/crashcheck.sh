@@ -1,0 +1,179 @@
+#!/usr/bin/env bash
+# crashcheck.sh — the CI crash-safety gate: prove, against the real
+# ssslab binary, that the segment store survives everything the torture
+# suite promises it survives.
+#
+#   1. Kill rounds: a cold 256-cell grid run is SIGKILLed at randomized
+#      segment-size thresholds, three times in a row against the same
+#      cache directory. The follow-up warm run must produce a report
+#      byte-identical to the uninterrupted reference with BOUNDED
+#      recomputation (engine-runs strictly below the grid size: the
+#      crashed runs' flushed cells must survive), and the run after
+#      that must be fully warm (engine-runs=0, lock-waits=0, exact
+#      cache-stats match).
+#   2. Torture writers: four concurrent ssslab processes cold-run
+#      overlapping grids (union = the full grid) into one directory.
+#      All must exit 0, and a fresh warm run of the union must report
+#      zero engine runs with a byte-identical report.
+#   3. Compaction idempotence: -compact-cache on the torture directory,
+#      then again — the second pass must reclaim "0 B" (the first left
+#      no dead space behind).
+#   4. Deterministic kill: FSFAULT=segstore.append.write=kill@N crashes
+#      a cold run at an exact byte offset (exit code 86), and the warm
+#      run recovers exactly as in the kill rounds — the same check the
+#      in-process torture tests make, here through the real binary.
+#
+# Output lines are appended to $OUT_LOG so CI can upload them as an
+# artifact when the gate fails.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK=$(mktemp -d /tmp/repro-crashcheck.XXXXXX)
+own_log=""
+if [ -z "${OUT_LOG:-}" ]; then
+    OUT_LOG="$WORK/crashcheck.out"
+    own_log=$OUT_LOG
+fi
+cleanup() {
+    status=$?
+    if [ -n "$own_log" ] && [ "$status" -ne 0 ]; then
+        kept=$(mktemp /tmp/repro-crashcheck-out.XXXXXX)
+        cp "$own_log" "$kept" 2>/dev/null || true
+        echo "crashcheck: output log kept at $kept" >&2
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "crashcheck: $1" >&2
+    echo "  want: $2" >&2
+    echo "  got:  $3" >&2
+    exit 1
+}
+
+# A real binary, not `go run`: SIGKILLing the `go run` wrapper would
+# leave the actual simulation process alive and the "crash" a lie.
+SSSLAB="$WORK/ssslab"
+go build -o "$SSSLAB" ./cmd/ssslab
+
+# 4 conc × 4 P × 4 RTTs × 2 buffers × 2 CCs = 256 cells.
+CELLS=256
+grid() { # grid <cache-dir> [extra grid-narrowing flags...]
+    local dir=$1
+    shift
+    CACHE_DIR="$dir" "$SSSLAB" -grid -seconds 1 \
+        -concs 1,2,3,4 -pflows 2,4,8,16 -rtts 8ms,16ms,32ms,64ms \
+        -buffers auto,2MB -ccs reno,cubic -cache-stats "$@"
+}
+
+seg_size() { # seg_size <cache-dir>  (0 when the segment does not exist)
+    if [ -f "$1/cells.seg" ]; then
+        wc -c < "$1/cells.seg"
+    else
+        echo 0
+    fi
+}
+
+echo "== reference: uninterrupted cold run =="
+REF_DIR="$WORK/ref"
+ref_report="$WORK/report-ref.txt"
+grid "$REF_DIR" > "$ref_report"
+ref=$(tail -n 1 "$ref_report")
+echo "reference: $ref" | tee -a "$OUT_LOG"
+want_ref="cache-stats: cells=$CELLS memo=0 disk=0 segment=0 engine-runs=$CELLS lock-waits=0"
+[ "$ref" = "$want_ref" ] || fail "reference run did not execute the whole grid" "$want_ref" "$ref"
+ref_seg=$(seg_size "$REF_DIR")
+[ "$ref_seg" -gt 0 ] || fail "reference run left no segment" ">0 bytes" "$ref_seg"
+
+echo "== kill rounds: SIGKILL cold runs at randomized segment thresholds =="
+CRASH_DIR="$WORK/crash"
+for round in 1 2 3; do
+    # A randomized threshold in (0, ref_seg): every round crashes at a
+    # different point in the append stream. The grid recomputes only
+    # what earlier crashed runs did not persist, so the segment keeps
+    # growing round over round even though each run starts cold.
+    threshold=$(( (RANDOM % ref_seg) + 1 ))
+    before=$(seg_size "$CRASH_DIR")
+    grid "$CRASH_DIR" > /dev/null 2>&1 &
+    victim=$!
+    while kill -0 "$victim" 2>/dev/null && [ "$(seg_size "$CRASH_DIR")" -lt "$threshold" ]; do
+        sleep 0.05
+    done
+    if kill -9 "$victim" 2>/dev/null; then
+        killed="killed"
+    else
+        killed="finished before the threshold"
+    fi
+    wait "$victim" 2>/dev/null || true
+    echo "round $round: threshold=$threshold bytes, segment $before -> $(seg_size "$CRASH_DIR") bytes ($killed)" | tee -a "$OUT_LOG"
+done
+
+echo "== warm recovery after the kill rounds =="
+crash_report="$WORK/report-crash.txt"
+grid "$CRASH_DIR" > "$crash_report"
+recov=$(tail -n 1 "$crash_report")
+echo "recovery: $recov" | tee -a "$OUT_LOG"
+runs=$(sed -n 's/.*engine-runs=\([0-9]*\).*/\1/p' <<< "$recov")
+[ -n "$runs" ] || fail "recovery run printed no cache-stats" "engine-runs=N" "$recov"
+[ "$runs" -lt "$CELLS" ] || fail "recovery recomputed the whole grid: crashed runs' cells were lost" "engine-runs < $CELLS" "$recov"
+if ! diff <(sed '$d' "$ref_report") <(sed '$d' "$crash_report") >> "$OUT_LOG"; then
+    fail "post-crash report differs from the reference (diff in $OUT_LOG)" "byte-identical report" "differs"
+fi
+
+warm=$(grid "$CRASH_DIR" | tail -n 1)
+echo "warm:     $warm" | tee -a "$OUT_LOG"
+want_warm="cache-stats: cells=$CELLS memo=0 disk=0 segment=$CELLS engine-runs=0 lock-waits=0"
+[ "$warm" = "$want_warm" ] || fail "store not fully warm after crash recovery" "$want_warm" "$warm"
+
+echo "== torture: 4 concurrent writers, overlapping grids, one directory =="
+TORTURE_DIR="$WORK/torture"
+pids=()
+grid "$TORTURE_DIR" > /dev/null &
+pids+=($!)
+grid "$TORTURE_DIR" -concs 1,2 > /dev/null &
+pids+=($!)
+grid "$TORTURE_DIR" -rtts 32ms,64ms > /dev/null &
+pids+=($!)
+grid "$TORTURE_DIR" -ccs cubic > /dev/null &
+pids+=($!)
+for pid in "${pids[@]}"; do
+    wait "$pid" || fail "a torture writer failed" "exit 0" "non-zero exit from pid $pid"
+done
+
+torture_report="$WORK/report-torture.txt"
+grid "$TORTURE_DIR" > "$torture_report"
+torture=$(tail -n 1 "$torture_report")
+echo "torture-warm: $torture" | tee -a "$OUT_LOG"
+[ "$torture" = "$want_warm" ] || fail "union grid not fully warm after torture writers" "$want_warm" "$torture"
+if ! diff <(sed '$d' "$ref_report") <(sed '$d' "$torture_report") >> "$OUT_LOG"; then
+    fail "torture-built report differs from the reference (diff in $OUT_LOG)" "byte-identical report" "differs"
+fi
+
+echo "== compaction idempotence on the torture directory =="
+CACHE_DIR="$TORTURE_DIR" "$SSSLAB" -compact-cache | tee -a "$OUT_LOG"
+second=$(CACHE_DIR="$TORTURE_DIR" "$SSSLAB" -compact-cache)
+echo "$second" | tee -a "$OUT_LOG"
+case "$second" in
+    *"0 B reclaimed"*) ;;
+    *) fail "first compaction left dead space behind" "0 B reclaimed" "$second" ;;
+esac
+
+echo "== deterministic kill: FSFAULT crash at an exact append offset =="
+FAULT_DIR="$WORK/fault"
+offset=$(( ref_seg / 3 ))
+set +e
+FSFAULT="segstore.append.write=kill@$offset" grid "$FAULT_DIR" > /dev/null 2>&1
+code=$?
+set -e
+[ "$code" -eq 86 ] || fail "FSFAULT kill did not fire" "exit code 86" "exit code $code"
+fault_report="$WORK/report-fault.txt"
+grid "$FAULT_DIR" > "$fault_report"
+frecov=$(tail -n 1 "$fault_report")
+echo "fault-recovery: $frecov" | tee -a "$OUT_LOG"
+fruns=$(sed -n 's/.*engine-runs=\([0-9]*\).*/\1/p' <<< "$frecov")
+[ -n "$fruns" ] && [ "$fruns" -lt "$CELLS" ] || fail "recovery after deterministic kill recomputed everything" "engine-runs < $CELLS" "$frecov"
+if ! diff <(sed '$d' "$ref_report") <(sed '$d' "$fault_report") >> "$OUT_LOG"; then
+    fail "post-fault report differs from the reference (diff in $OUT_LOG)" "byte-identical report" "differs"
+fi
+echo "OK"

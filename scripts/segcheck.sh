@@ -63,7 +63,7 @@ echo "== cold 2048-cell grid =="
 grid > "$cold_report"
 cold=$(tail -n 1 "$cold_report")
 echo "cold: $cold" | tee -a "$OUT_LOG"
-want_cold="cache-stats: cells=2048 memo=0 disk=0 segment=0 engine-runs=2048"
+want_cold="cache-stats: cells=2048 memo=0 disk=0 segment=0 engine-runs=2048 lock-waits=0"
 [ "$cold" = "$want_cold" ] || fail "cold run did not execute the whole grid" "$want_cold" "$cold"
 
 echo "== compact =="
@@ -75,7 +75,7 @@ echo "== warm re-run from the compacted segment (fresh process) =="
 grid > "$warm_report"
 warm=$(tail -n 1 "$warm_report")
 echo "warm: $warm" | tee -a "$OUT_LOG"
-want_warm="cache-stats: cells=2048 memo=0 disk=0 segment=2048 engine-runs=0"
+want_warm="cache-stats: cells=2048 memo=0 disk=0 segment=2048 engine-runs=0 lock-waits=0"
 [ "$warm" = "$want_warm" ] || fail "warm run was not served entirely from the segment" "$want_warm" "$warm"
 
 echo "== warm report byte-identical to cold =="

@@ -34,7 +34,7 @@ sub=$(go run ./cmd/ssslab -grid -seconds 1 -concurrency 4 \
     -cache-stats | tail -n 1)
 echo "sub-grid: $sub" | tee -a "$OUT_LOG"
 
-want="cache-stats: cells=4 memo=0 disk=0 segment=4 engine-runs=0"
+want="cache-stats: cells=4 memo=0 disk=0 segment=4 engine-runs=0 lock-waits=0"
 if [ "$sub" != "$want" ]; then
     echo "subgridcheck: sub-grid was not served entirely from superset cell records" >&2
     echo "  want: $want" >&2
