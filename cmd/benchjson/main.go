@@ -13,18 +13,21 @@
 // metric (sss, worst_s, engine_runs — simulation outputs and cache
 // behavior, machine-independent) drifts from the tracked report by more
 // than the relative tolerance -tol. CI uses this (scripts/benchcmp.sh)
-// to catch silent changes to the sweep dynamics — and, via
-// grid_subgrid_warm's and grid_segment_warm's engine_runs = 0, any
-// regression of the cell store's sub-grid reuse or segment warm-open
+// to catch silent changes to the sweep dynamics — and, via the
+// engine_runs = 0 of grid_subgrid_warm, grid_segment_warm, and
+// service_warm_decision, any regression of the cell store's sub-grid
+// reuse, segment warm-open, or resident-service warm-request
 // guarantees; timings are never compared, so the gate is noise-free.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"strings"
@@ -32,6 +35,8 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/scenario"
+	"repro/internal/service"
 	"repro/internal/tcpsim"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -294,6 +299,64 @@ func run(args []string, out io.Writer) error {
 		}
 	}))
 
+	// The decided service's headline path: a warm single-cell decision
+	// through the full in-process handler stack (decode + validate +
+	// index refresh + memo hit + decide + encode; no network, so the
+	// number is the server's own cost). engine_runs is gated at 0 by
+	// -compare: a warm request that simulates is a resident-state
+	// regression, caught here as well as by scripts/loadcheck.sh.
+	svcDir, err := os.MkdirTemp("", "benchjson-svc")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(svcDir)
+	svc := service.New(service.Config{CacheDir: svcDir})
+	svcBody, err := json.Marshal(scenario.DecideRequest{
+		Workload: scenario.Workload{
+			Name: "bench", UnitSize: "2GB", ComplexityFLOPPerGB: 17e12,
+			Local: "5TF", Remote: "100TF",
+		},
+		Cell: &scenario.GridSpec{
+			DurationS: 1,
+			Size:      "0.5GB",
+			AxisFlags: scenario.AxisFlags{Concs: "2", Flows: "2", RTTs: "16ms"},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	svcDo := func() *httptest.ResponseRecorder {
+		r := httptest.NewRequest("POST", "/v1/decide", bytes.NewReader(svcBody))
+		w := httptest.NewRecorder()
+		svc.ServeHTTP(w, r)
+		return w
+	}
+	if w := svcDo(); w.Code != 200 { // the one cold request: warms the cell
+		return fmt.Errorf("service warm-up request failed: %d %s", w.Code, w.Body)
+	}
+	before = workload.EngineRunCount()
+	warmResp := svcDo()
+	if warmResp.Code != 200 {
+		return fmt.Errorf("service warm request failed: %d %s", warmResp.Code, warmResp.Body)
+	}
+	var warmDec scenario.DecideResponse
+	if err := json.Unmarshal(warmResp.Body.Bytes(), &warmDec); err != nil {
+		return err
+	}
+	svcMetrics := map[string]float64{
+		"worst_s":     warmDec.Measured.WorstS,
+		"sss":         warmDec.Measured.SSS,
+		"engine_runs": float64(workload.EngineRunCount() - before),
+	}
+	report.Results = append(report.Results, measure("service_warm_decision", svcMetrics, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if w := svcDo(); w.Code != 200 {
+				b.Fatalf("status %d", w.Code)
+			}
+		}
+	}))
+
 	if !*quick {
 		paperCfg := experiments.PaperSweep()
 		fig2a, err := experiments.Fig2a(paperCfg)
@@ -352,9 +415,10 @@ func run(args []string, out io.Writer) error {
 
 // deterministicMetrics are the simulation outputs compared by -compare:
 // bit-reproducible across machines and worker counts, unlike timings.
-// engine_runs rides along for grid_subgrid_warm and grid_segment_warm,
-// where the tracked value 0 turns the sub-grid reuse and segment
-// warm-open guarantees into bench-gate invariants.
+// engine_runs rides along for grid_subgrid_warm, grid_segment_warm,
+// and service_warm_decision, where the tracked value 0 turns the
+// sub-grid reuse, segment warm-open, and resident-service warm-request
+// guarantees into bench-gate invariants.
 var deterministicMetrics = []string{"sss", "worst_s", "engine_runs"}
 
 // compareReports checks every deterministic metric present in both

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the test read server output while run() writes it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestCompactCacheRefusesRunFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-compact-cache", "-cache-stats"},
+		{"-compact-cache", "-listen", "127.0.0.1:0"},
+		{"-compact-cache", "-max-inflight", "2"},
+	} {
+		err := run(context.Background(), args, io.Discard)
+		if err == nil || !strings.Contains(err.Error(), "standalone maintenance mode") {
+			t.Errorf("%v: err %v, want the standalone-mode refusal", args, err)
+		}
+	}
+}
+
+func TestCompactCacheRuns(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-compact-cache", "-cache-dir", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "compacted "+dir) {
+		t.Fatalf("output %q missing compaction summary", out.String())
+	}
+}
+
+// TestServeLifecycle drives a whole server lifetime in-process: bind
+// port 0, parse the address line, answer a health check and a
+// model-only decision, then cancel the context and require a clean
+// drain with the final cache-stats line.
+func TestServeLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-listen", "127.0.0.1:0", "-cache-dir", "off", "-cache-stats"}, out)
+	}()
+
+	addrRe := regexp.MustCompile(`listening on (http://[^\s]+)`)
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no address line within 10s; output: %q", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	hz, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", hz.StatusCode)
+	}
+	body := `{"workload":{"name":"w","unit_size":"2GB","complexity_flop_per_gb":17e12,` +
+		`"local":"5TF","remote":"100TF","bandwidth":"25Gbps","transfer_rate":"2GB/s"}}`
+	resp, err := http.Post(base+"/v1/decide", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(data), `"decision"`) {
+		t.Fatalf("decide: status %d body %s", resp.StatusCode, data)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v, want clean shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain within 10s")
+	}
+	final := out.String()
+	if !strings.Contains(final, "cache-stats: ") || !strings.Contains(final, "engine-runs=0") {
+		t.Fatalf("shutdown output %q missing the cache-stats line", final)
+	}
+}
+
+// TestCacheStatsFlagDescribesSharedDir: the startup banner names the
+// shared directory so operators see which store the CLIs co-write.
+func TestStartupBannerNamesCacheDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sweeps")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-listen", "127.0.0.1:0", "-cache-dir", dir}, out)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(out.String(), "cache dir "+dir) {
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("banner missing cache dir; output: %q", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

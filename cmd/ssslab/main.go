@@ -101,8 +101,14 @@ func run(args []string, out io.Writer) error {
 	if *compactCache {
 		// Refuse every run-shaped flag rather than silently dropping it
 		// — the same rule -cache-stats follows outside grid mode.
-		if *grid || *portfolioPath != "" || *mode == "live" || *cacheStats || *csvPath != "" {
-			return fmt.Errorf("-compact-cache is a standalone maintenance mode (usage: ssslab -compact-cache [-cache-dir DIR]; drop -grid/-portfolio/-mode live/-cache-stats/-csv)")
+		if err := scenario.CompactCacheConflicts("ssslab", []scenario.RunFlag{
+			{Name: "-grid", Set: *grid},
+			{Name: "-portfolio", Set: *portfolioPath != ""},
+			{Name: "-mode live", Set: *mode == "live"},
+			{Name: "-cache-stats", Set: *cacheStats},
+			{Name: "-csv", Set: *csvPath != ""},
+		}); err != nil {
+			return err
 		}
 		return scenario.RunCompactCache(out, *cacheDir)
 	}
@@ -167,7 +173,8 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("-grid/-portfolio are sim-mode only (live loopback has no scenario axes)")
 		}
 		if *cacheStats {
-			return fmt.Errorf("-cache-stats is sim-mode only (usage: ssslab [-grid] -cache-stats ...; live loopback never touches the sweep caches)")
+			return scenario.CacheStatsRequires("-cache-stats is sim-mode only",
+				"ssslab [-grid] -cache-stats ...", "live loopback never touches the sweep caches")
 		}
 		size := 8 * units.MB
 		if *sizeStr != "" {

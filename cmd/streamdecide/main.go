@@ -94,13 +94,21 @@ func run(args []string, out io.Writer) error {
 	if *compactCache {
 		// Refuse every run-shaped flag rather than silently dropping it
 		// — the same rule -cache-stats follows outside grid mode.
-		if *grid || *portfolioPath != "" || *configPath != "" || *cacheStats || *csvPath != "" || *jsonPath != "" {
-			return fmt.Errorf("-compact-cache is a standalone maintenance mode (usage: streamdecide -compact-cache [-cache-dir DIR]; drop -grid/-portfolio/-config/-cache-stats/-csv/-json)")
+		if err := scenario.CompactCacheConflicts("streamdecide", []scenario.RunFlag{
+			{Name: "-grid", Set: *grid},
+			{Name: "-portfolio", Set: *portfolioPath != ""},
+			{Name: "-config", Set: *configPath != ""},
+			{Name: "-cache-stats", Set: *cacheStats},
+			{Name: "-csv", Set: *csvPath != ""},
+			{Name: "-json", Set: *jsonPath != ""},
+		}); err != nil {
+			return err
 		}
 		return scenario.RunCompactCache(out, *cacheDir)
 	}
 	if *cacheStats && !*grid {
-		return fmt.Errorf("-cache-stats requires -grid (usage: streamdecide -grid [-cache-stats] ...; only grid runs touch the sweep caches)")
+		return scenario.CacheStatsRequires("-cache-stats requires -grid",
+			"streamdecide -grid [-cache-stats] ...", "only grid runs touch the sweep caches")
 	}
 	if *grid && *configPath != "" {
 		return fmt.Errorf("-grid and -config are mutually exclusive (a portfolio row has its own transfer rate)")

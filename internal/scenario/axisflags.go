@@ -19,15 +19,17 @@ import (
 
 // AxisFlags holds raw CLI axis lists. An empty field leaves the
 // corresponding axis of the base grid untouched; a set field replaces
-// it.
+// it. The JSON tags mirror the flag names exactly, so a decided service
+// request speaks the same axis vocabulary as the CLIs — "concs" in a
+// JSON body and -concs on a command line parse through the same code.
 type AxisFlags struct {
-	Concs   string // e.g. "1,4,8"
-	Flows   string // e.g. "2,8"
-	Sizes   string // e.g. "0.5GB,2GB"
-	RTTs    string // e.g. "8ms,16ms,64ms"
-	Buffers string // e.g. "auto,512KB,2MB" ("auto" = half-BDP default)
-	CCs     string // e.g. "reno,cubic"
-	Crosses string // e.g. "0,0.3,0.6"
+	Concs   string `json:"concs,omitempty"`   // e.g. "1,4,8"
+	Flows   string `json:"pflows,omitempty"`  // e.g. "2,8"
+	Sizes   string `json:"sizes,omitempty"`   // e.g. "0.5GB,2GB"
+	RTTs    string `json:"rtts,omitempty"`    // e.g. "8ms,16ms,64ms"
+	Buffers string `json:"buffers,omitempty"` // e.g. "auto,512KB,2MB" ("auto" = half-BDP default)
+	CCs     string `json:"ccs,omitempty"`     // e.g. "reno,cubic"
+	Crosses string `json:"crosses,omitempty"` // e.g. "0,0.3,0.6"
 }
 
 // Register installs the grid axis flags on a FlagSet. Every -grid CLI

@@ -1,0 +1,271 @@
+package scenario
+
+// Request/response schema for the decided service (internal/service,
+// cmd/decided). It lives here, next to the portfolio-file schema and
+// AxisFlags, because the service speaks the SAME vocabulary as the
+// batch CLIs: a request workload is the -config/-portfolio Workload
+// row, a request grid is the -grid axis flags as JSON fields, and a
+// portfolio response body is byte-identical to streamdecide's -json
+// archive. Keeping the schemas in one package is what makes "the
+// service answers exactly what the batch run would print" a structural
+// property rather than a test assertion.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tcpsim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// GridSpec describes a measured grid in a JSON request the way the
+// CLIs' flags do: the scalar base-grid knobs (-gseconds, -bw, -size)
+// plus the embedded AxisFlags lists. Zero values take the CLI defaults,
+// so an empty spec IS `streamdecide -grid` — same axes, same
+// fingerprint, same cache cells.
+type GridSpec struct {
+	// DurationS is the congestion experiment duration in seconds
+	// (-gseconds; default 3).
+	DurationS int `json:"duration_s,omitempty"`
+	// Bandwidth is the bottleneck link (-bw; default "25Gbps").
+	Bandwidth string `json:"bandwidth,omitempty"`
+	// Size is the default transfer-size axis (-size; default "2GB"),
+	// replaced entirely when Sizes is set.
+	Size      string `json:"size,omitempty"`
+	AxisFlags        // concs/pflows/sizes/rtts/buffers/ccs/crosses
+}
+
+// Axes lowers the spec to workload axes, mirroring streamdecide's grid
+// base exactly — defaults included — so a request and a CLI run that
+// describe the same grid hit the same cache cells.
+func (s GridSpec) Axes() (workload.Axes, error) {
+	seconds := s.DurationS
+	if seconds == 0 {
+		seconds = 3
+	}
+	if seconds < 0 {
+		return workload.Axes{}, fmt.Errorf("scenario: duration_s %d: must be positive", seconds)
+	}
+	bwStr := s.Bandwidth
+	if bwStr == "" {
+		bwStr = "25Gbps"
+	}
+	bw, err := units.ParseBitRate(bwStr)
+	if err != nil {
+		return workload.Axes{}, fmt.Errorf("scenario: bandwidth: %w", err)
+	}
+	sizeStr := s.Size
+	if sizeStr == "" {
+		sizeStr = "2GB"
+	}
+	size, err := units.ParseByteSize(sizeStr)
+	if err != nil {
+		return workload.Axes{}, fmt.Errorf("scenario: size: %w", err)
+	}
+	net := tcpsim.DefaultConfig()
+	net.Capacity = bw
+	base := workload.Axes{
+		Duration:      time.Duration(seconds) * time.Second,
+		Concurrencies: []int{4},
+		ParallelFlows: []int{8},
+		TransferSizes: []units.ByteSize{size},
+		Strategy:      workload.SpawnSimultaneous,
+		Net:           net,
+	}
+	return s.AxisFlags.Apply(base)
+}
+
+// DecideRequest is the POST /v1/decide body: one workload, decided
+// either purely from the model (Cell nil; the workload carries its own
+// bandwidth and transfer_rate, like a -config row) or at one measured
+// grid cell (Cell set; the cell's simulation supplies the transfer
+// side, like one cell of a -portfolio run, and the spec must lower to
+// exactly one cell).
+type DecideRequest struct {
+	Workload Workload  `json:"workload"`
+	Cell     *GridSpec `json:"cell,omitempty"`
+}
+
+// Lower validates the request and resolves it to the workload to decide
+// plus, in cell mode, the single-cell axes to measure (nil in model
+// mode). In cell mode the measured fields are placeholders the cell
+// overrides, so the request may omit them.
+func (r DecideRequest) Lower() (Workload, *workload.Axes, error) {
+	w := r.Workload
+	if w.Name == "" {
+		w.Name = "workload"
+	}
+	if r.Cell == nil {
+		return w, nil, nil
+	}
+	a, err := r.Cell.Axes()
+	if err != nil {
+		return w, nil, err
+	}
+	if n := a.Size(); n != 1 {
+		return w, nil, fmt.Errorf("scenario: cell spec lowers to %d cells, want exactly 1 (POST /v1/portfolio decides whole grids)", n)
+	}
+	// DecidePortfolio replaces the transfer side per cell (bandwidth =
+	// the grid link, transfer_rate = the measured effective rate), so a
+	// cell-mode request may omit both; fill parseable placeholders.
+	if w.Bandwidth == "" {
+		w.Bandwidth = "25Gbps"
+	}
+	if w.TransferRate == "" {
+		w.TransferRate = "1GB/s"
+	}
+	// Validate the workload NOW, before the caller spends a simulation
+	// on a request whose decision step was always going to fail.
+	if err := validateWorkload(w); err != nil {
+		return w, nil, err
+	}
+	return w, &a, nil
+}
+
+// validateWorkload runs a workload through the same parsers the
+// decision step uses, so malformed requests fail before any engine run.
+func validateWorkload(w Workload) error {
+	if _, err := w.Params(); err != nil {
+		return err
+	}
+	_, err := w.opts()
+	return err
+}
+
+// MeasuredCell carries the simulated transfer measurements backing a
+// cell-mode decision, named like the portfolio archive's cell fields.
+type MeasuredCell struct {
+	WorstS      float64 `json:"worst_s"`
+	SSS         float64 `json:"sss"`
+	Utilization float64 `json:"utilization"`
+	RateBps     float64 `json:"rate_Bps"`
+}
+
+// CacheStatsJSON is workload.CacheStats in a JSON response, field names
+// matching the CLI cache-stats line (cells=… memo=… …) token for token.
+type CacheStatsJSON struct {
+	Cells      int64 `json:"cells"`
+	Memo       int64 `json:"memo"`
+	Disk       int64 `json:"disk"`
+	Segment    int64 `json:"segment"`
+	EngineRuns int64 `json:"engine_runs"`
+	LockWaits  int64 `json:"lock_waits"`
+}
+
+// NewCacheStatsJSON converts counter values to the response form.
+func NewCacheStatsJSON(st workload.CacheStats) CacheStatsJSON {
+	return CacheStatsJSON{
+		Cells:      st.CellsRequested,
+		Memo:       st.CellsFromMemo,
+		Disk:       st.CellsFromDisk,
+		Segment:    st.CellsFromSegment,
+		EngineRuns: st.EngineRuns,
+		LockWaits:  st.LockWaits,
+	}
+}
+
+// DecideResponse is the POST /v1/decide reply. Numeric fields use the
+// portfolio CSV's names and units (gain, t_local_s, t_pct_s) so the two
+// surfaces stay column-compatible.
+type DecideResponse struct {
+	Workload string  `json:"workload"`
+	Decision string  `json:"decision"`
+	Reason   string  `json:"reason"`
+	Gain     float64 `json:"gain"`
+	TLocalS  float64 `json:"t_local_s"`
+	TPctS    float64 `json:"t_pct_s"`
+	// Measured is present in cell mode only.
+	Measured *MeasuredCell `json:"measured,omitempty"`
+	// Cache reports how THIS request's grid cells were served (cell
+	// mode only; a model-only decision touches no cache).
+	Cache *CacheStatsJSON `json:"cache,omitempty"`
+}
+
+// newDecideResponse shapes one decision as a response.
+func newDecideResponse(name string, d core.Decision) *DecideResponse {
+	return &DecideResponse{
+		Workload: name,
+		Decision: d.Choice.String(),
+		Reason:   d.Reason,
+		Gain:     d.Gain,
+		TLocalS:  d.Breakdown.TLocal.Seconds(),
+		TPctS:    d.Breakdown.TPct.Seconds(),
+	}
+}
+
+// DecideModel answers a model-only request: the workload's own numbers
+// through core.Decide, exactly the -config path.
+func DecideModel(w Workload) (*DecideResponse, error) {
+	p, err := w.Params()
+	if err != nil {
+		return nil, err
+	}
+	o, err := w.opts()
+	if err != nil {
+		return nil, err
+	}
+	d, err := core.Decide(p, o)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %s: %w", w.Name, err)
+	}
+	return newDecideResponse(w.Name, d), nil
+}
+
+// DecideAtCell answers a cell-mode request against an already-measured
+// one-cell grid, with DecidePortfolio's exact semantics (the workload
+// keeps its own unit size; the cell supplies bandwidth and rate) so a
+// service decision and the batch portfolio decision for the same cell
+// are the same computation.
+func DecideAtCell(w Workload, g *workload.GridResult) (*DecideResponse, error) {
+	pf, err := NewPortfolio(w.Name, &File{Workloads: []Workload{w}})
+	if err != nil {
+		return nil, err
+	}
+	pg, err := DecidePortfolio(pf, g)
+	if err != nil {
+		return nil, err
+	}
+	c := pg.Cells[0]
+	resp := newDecideResponse(w.Name, c.Decisions[0].Decision)
+	resp.Measured = &MeasuredCell{
+		WorstS:      c.Row.Worst.Seconds(),
+		SSS:         c.Row.SSS,
+		Utilization: c.Row.Utilization,
+		RateBps:     float64(c.Rate),
+	}
+	return resp, nil
+}
+
+// PortfolioRequest is the POST /v1/portfolio body: a whole portfolio
+// document (the -config schema, inline) decided over a measured grid.
+// The response body is the PortfolioGrid JSON archive — byte-identical
+// to `streamdecide -portfolio … -grid … -json` for the same inputs.
+type PortfolioRequest struct {
+	// Name labels the portfolio like the CLI's file base name does;
+	// empty defaults to "portfolio".
+	Name      string   `json:"name,omitempty"`
+	Portfolio File     `json:"portfolio"`
+	Grid      GridSpec `json:"grid"`
+}
+
+// Lower validates the request into a named portfolio and the grid axes
+// to measure. Every workload is validated up front, for the same
+// fail-before-simulating reason as DecideRequest.Lower.
+func (r PortfolioRequest) Lower() (*Portfolio, workload.Axes, error) {
+	pf, err := NewPortfolio(r.Name, &r.Portfolio)
+	if err != nil {
+		return nil, workload.Axes{}, err
+	}
+	for _, w := range pf.Workloads {
+		if err := validateWorkload(w); err != nil {
+			return nil, workload.Axes{}, err
+		}
+	}
+	a, err := r.Grid.Axes()
+	if err != nil {
+		return nil, workload.Axes{}, err
+	}
+	return pf, a, nil
+}

@@ -173,20 +173,41 @@ func (c *GridCache) Purge() { c.mem.purge() }
 // only genuinely missing cells run on the engine pool. A sub-grid of a
 // previously-run grid is therefore served with zero engine runs.
 func (c *GridCache) Get(a Axes, workers int) (*GridResult, error) {
+	res, _, err := c.GetStats(a, workers)
+	return res, err
+}
+
+// GetStats is Get plus an exact per-request CacheStats: how THIS
+// request's cells were served, independent of whatever other requests
+// are doing to the process-wide counters concurrently — the request-
+// scoped entry point a long-lived server reports per response. The
+// request that performs the compute gets the planner's attribution
+// (disk/segment hits and engine runs); a request served by the memo —
+// including one that arrived while another request was computing the
+// same grid and coalesced onto its single flight — reports every cell
+// as a memo hit and zero engine runs, because it caused none itself.
+func (c *GridCache) GetStats(a Axes, workers int) (*GridResult, CacheStats, error) {
 	if err := a.Validate(); err != nil {
-		return nil, err
+		return nil, CacheStats{}, err
 	}
 	a = a.normalized()
 	cellsRequested.Add(int64(a.Size()))
+	var reqStats CacheStats
 	computed := false
 	res, err := c.mem.get(a.Fingerprint(), func() (*GridResult, error) {
 		computed = true
-		return runGridIncremental(a, workers, &c.cells)
+		g, st, err := runGridIncrementalStats(a, workers, &c.cells)
+		reqStats = st
+		return g, err
 	})
-	if err == nil && !computed {
-		cellsFromMemo.Add(int64(a.Size()))
+	if err != nil {
+		return nil, CacheStats{}, err
 	}
-	return res, err
+	if !computed {
+		cellsFromMemo.Add(int64(a.Size()))
+		reqStats = CacheStats{CellsRequested: int64(a.Size()), CellsFromMemo: int64(a.Size())}
+	}
+	return res, reqStats, nil
 }
 
 // defaultCache and defaultGridCache back the process-wide cached
@@ -219,6 +240,14 @@ func PurgeSweepCache() { defaultCache.Purge() }
 // computing it in parallel on first use. Treat the result as read-only.
 func RunGridCached(a Axes, workers int) (*GridResult, error) {
 	return defaultGridCache.Get(a, workers)
+}
+
+// RunGridRequest is RunGridCached plus the request-scoped CacheStats
+// attribution of GridCache.GetStats — the entry point request-serving
+// callers (cmd/decided via internal/service) use to report per-request
+// cache behavior.
+func RunGridRequest(a Axes, workers int) (*GridResult, CacheStats, error) {
+	return defaultGridCache.GetStats(a, workers)
 }
 
 // PurgeGridCache empties the process-wide in-memory grid cache.

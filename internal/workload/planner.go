@@ -40,6 +40,11 @@ type gridPlan struct {
 	// persist gates the cell store: off when no store is configured or
 	// when rows pin client results (those stay memory-only).
 	persist bool
+	// fromSegment / fromDisk tally where the cached cells came from —
+	// the plan's own copy of what planGrid added to the process-wide
+	// counters, so one request's service can be attributed exactly even
+	// while other requests mutate the globals.
+	fromSegment, fromDisk int64
 }
 
 // planGrid fetches every cached cell of the grid from the store — on a
@@ -97,19 +102,18 @@ func planGrid(a Axes, store *cellStore) *gridPlan {
 	}
 	// Assemble in grid order: the missing list and the counters come out
 	// identical whatever interleaving the pool ran.
-	var fromSegment, fromDisk int64
 	for i, c := range cells {
 		switch srcs[i] {
 		case srcSegment:
-			fromSegment++
+			p.fromSegment++
 		case srcDisk:
-			fromDisk++
+			p.fromDisk++
 		default:
 			p.missing = append(p.missing, c)
 		}
 	}
-	cellsFromSegment.Add(fromSegment)
-	cellsFromDisk.Add(fromDisk)
+	cellsFromSegment.Add(p.fromSegment)
+	cellsFromDisk.Add(p.fromDisk)
 	return p
 }
 
@@ -122,11 +126,30 @@ func planGrid(a Axes, store *cellStore) *gridPlan {
 // independently seeded from its own coordinates, so a loaded record and
 // a recomputed row are the same bytes.
 func runGridIncremental(a Axes, workers int, store *cellStore) (*GridResult, error) {
+	g, _, err := runGridIncrementalStats(a, workers, store)
+	return g, err
+}
+
+// runGridIncrementalStats is runGridIncremental plus an exact
+// per-request CacheStats: the attribution is derived from the plan
+// itself (cached cells by source, missing cells as engine runs), not
+// from deltas of the process-wide counters, so it stays correct when
+// many requests run concurrently in one process — the situation a
+// long-lived server is always in. LockWaits is not attributable to one
+// request (lock acquisitions are shared across whatever appends happen
+// to contend) and is reported as 0 here.
+func runGridIncrementalStats(a Axes, workers int, store *cellStore) (*GridResult, CacheStats, error) {
 	if err := a.Validate(); err != nil {
-		return nil, err
+		return nil, CacheStats{}, err
 	}
 	a = a.normalized()
 	plan := planGrid(a, store)
+	stats := CacheStats{
+		CellsRequested:   int64(len(plan.rows)),
+		CellsFromDisk:    plan.fromDisk,
+		CellsFromSegment: plan.fromSegment,
+		EngineRuns:       int64(len(plan.missing)),
+	}
 	if len(plan.missing) > 0 {
 		var onRow func(GridCell)
 		if plan.persist {
@@ -135,7 +158,7 @@ func runGridIncremental(a Axes, workers int, store *cellStore) (*GridResult, err
 			}
 		}
 		if err := executeCells(a, plan.missing, plan.rows, workers, onRow); err != nil {
-			return nil, err
+			return nil, CacheStats{}, err
 		}
 	}
 	if plan.persist {
@@ -143,5 +166,5 @@ func runGridIncremental(a Axes, workers int, store *cellStore) (*GridResult, err
 		// drops), not one per record.
 		store.flush()
 	}
-	return &GridResult{Axes: a, Rows: plan.rows}, nil
+	return &GridResult{Axes: a, Rows: plan.rows}, stats, nil
 }

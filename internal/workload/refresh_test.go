@@ -1,0 +1,168 @@
+package workload
+
+// Resident-index invalidation: RefreshDiskCache is what a long-lived
+// process (cmd/decided) runs before planning each request so its
+// in-memory segment index tracks a shared directory that sibling batch
+// CLIs purge, compact, and append to. These tests simulate the sibling
+// by mutating the store files directly — remove, rename-a-new-inode-in,
+// raw O_APPEND — which is exactly what the store observes when another
+// process does it, without the cost of a child process (the true
+// cross-process race lives in internal/service's re-exec test).
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// refreshAxesB is a second grid sharing no cells with fastAxes (its
+// RTT axis is disjoint), used as "the records a sibling wrote".
+func refreshAxesB() Axes {
+	a := fastAxes()
+	a.RTTs = []time.Duration{64 * time.Millisecond}
+	return a
+}
+
+// warmStats runs the axes on a fresh GridCache (empty memo) against
+// dir WITHOUT resetting the process-wide segment store — the resident-
+// process view — and returns the rows plus the request-scoped stats.
+func warmStats(t *testing.T, dir string, a Axes) ([]GridRow, CacheStats) {
+	t.Helper()
+	c := NewGridCache()
+	c.SetDiskDir(dir)
+	g, st, err := c.GetStats(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Rows, st
+}
+
+// segBytes reads dir's raw segment file.
+func segBytes(t *testing.T, dir string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(dir, segmentFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestRefreshForeignPurge: a sibling removes the store files outright.
+// After refresh the resident index must not resurrect records from the
+// unlinked inode its handles still reach — the cells recompute.
+func TestRefreshForeignPurge(t *testing.T) {
+	dir := t.TempDir()
+	a := fastAxes()
+	coldRun(t, dir, a) // loads the resident store for dir
+
+	if err := os.Remove(filepath.Join(dir, segmentFileName)); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(filepath.Join(dir, segmentIndexName))
+	RefreshDiskCache(dir)
+
+	_, st := warmStats(t, dir, a)
+	if st.EngineRuns != int64(a.Size()) || st.CellsFromSegment != 0 {
+		t.Fatalf("post-purge request: engine-runs=%d segment=%d, want %d/0 (stale index served destroyed records)",
+			st.EngineRuns, st.CellsFromSegment, a.Size())
+	}
+}
+
+// TestRefreshForeignCompaction: a sibling swaps a freshly compacted
+// segment in (new inode, sidecar removed first) that also carries
+// records the resident process has never seen. Refresh must notice the
+// inode swap and reload, after which the foreign records serve warm —
+// cell fingerprints are directory-independent, so records written under
+// another directory are bit-identical currency here.
+func TestRefreshForeignCompaction(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	a, b := fastAxes(), refreshAxesB()
+	coldRun(t, dirA, a)
+	rowsB := coldRun(t, dirB, b)
+
+	// The "compacted" replacement: A's records plus B's, new inode,
+	// renamed in after the sidecar goes away — the swap order
+	// CompactDiskCache itself uses.
+	merged := append(segBytes(t, dirA), segBytes(t, dirB)...)
+	tmp := filepath.Join(dirA, ".seg-test.tmp")
+	if err := os.WriteFile(tmp, merged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(filepath.Join(dirA, segmentIndexName))
+	if err := os.Rename(tmp, filepath.Join(dirA, segmentFileName)); err != nil {
+		t.Fatal(err)
+	}
+	RefreshDiskCache(dirA)
+
+	got, st := warmStats(t, dirA, b)
+	if st.EngineRuns != 0 || st.CellsFromSegment != int64(b.Size()) {
+		t.Fatalf("post-compaction request: engine-runs=%d segment=%d, want 0/%d",
+			st.EngineRuns, st.CellsFromSegment, b.Size())
+	}
+	if gridRowsJSON(t, got) != gridRowsJSON(t, rowsB) {
+		t.Fatal("rows served after foreign compaction differ from the sibling's computed rows")
+	}
+}
+
+// TestRefreshForeignAppend: a sibling appends records to the same
+// inode. Refresh must index the grown tail without reopening anything.
+func TestRefreshForeignAppend(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	a, b := fastAxes(), refreshAxesB()
+	coldRun(t, dirA, a)
+	coldRun(t, dirB, b)
+
+	f, err := os.OpenFile(filepath.Join(dirA, segmentFileName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(segBytes(t, dirB)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	RefreshDiskCache(dirA)
+
+	_, st := warmStats(t, dirA, b)
+	if st.EngineRuns != 0 || st.CellsFromSegment != int64(b.Size()) {
+		t.Fatalf("post-append request: engine-runs=%d segment=%d, want 0/%d",
+			st.EngineRuns, st.CellsFromSegment, b.Size())
+	}
+}
+
+// TestRefreshTornTailReScans: refresh runs without the writer lock, so
+// a grown tail may end mid-record — a live sibling's append still in
+// flight. The cover point must stay at the last whole record, and the
+// next refresh — after the record's remaining bytes land — must index
+// it; advancing to the file size on the first refresh would have
+// orphaned it forever.
+func TestRefreshTornTailReScans(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	a, b := fastAxes(), refreshAxesB()
+	coldRun(t, dirA, a)
+	coldRun(t, dirB, b)
+
+	foreign := segBytes(t, dirB)
+	half := len(foreign) / 2
+	path := filepath.Join(dirA, segmentFileName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(foreign[:half]); err != nil {
+		t.Fatal(err)
+	}
+	RefreshDiskCache(dirA) // sees a torn tail: must not advance past it
+
+	if _, err := f.Write(foreign[half:]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	RefreshDiskCache(dirA) // the record is whole now: must index it
+
+	_, st := warmStats(t, dirA, b)
+	if st.EngineRuns != 0 || st.CellsFromSegment != int64(b.Size()) {
+		t.Fatalf("post-torn-tail request: engine-runs=%d segment=%d, want 0/%d",
+			st.EngineRuns, st.CellsFromSegment, b.Size())
+	}
+}

@@ -409,6 +409,88 @@ func (s *segStore) resyncLocked() {
 	}
 }
 
+// refresh is resyncLocked's lock-FREE sibling for long-lived readers: a
+// resident process (cmd/decided) calls it before planning a request so
+// its in-memory index sees whatever sibling batch CLIs did to the
+// shared directory — appends, compaction, purge — without restarting
+// and without taking the writer lock (warm requests must stay
+// lock-free; the whole resync is one stat on the fast path). The same
+// foreign-change detection as resyncLocked applies, with one
+// difference: the file is NOT quiescent here, so an unframeable tail
+// may be a live writer's append still in flight. The scan therefore
+// advances the resident cover point only past whole framed records —
+// the torn region is re-scanned on the next refresh, by which time a
+// live writer's record has its remaining bytes (a crashed writer's
+// never will, and the next lock-held resync writes it off as dead
+// space).
+func (s *segStore) refresh() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.loaded {
+		return // nothing resident: the next load runs ensureLoaded anyway
+	}
+	st, err := os.Stat(s.segPath())
+	if err != nil {
+		if s.rf == nil && s.wf == nil && len(s.index) == 0 {
+			return
+		}
+		// Foreign purge: drop the resident index — our handles point at
+		// an unlinked inode, and serving from it would resurrect records
+		// the sibling deliberately destroyed.
+		s.closeLocked()
+		s.loaded = true
+		s.index = make(map[string]segEntry)
+		return
+	}
+	var cur os.FileInfo
+	if s.rf != nil {
+		cur, _ = s.rf.Stat()
+	} else if s.wf != nil {
+		cur, _ = s.wf.Stat()
+	}
+	if cur != nil && !os.SameFile(st, cur) {
+		// Foreign compaction swapped a new inode in: reload everything.
+		s.closeLocked()
+		s.ensureLoaded()
+		return
+	}
+	if st.Size() > s.size {
+		if s.rf == nil {
+			s.rf, _ = os.Open(s.segPath())
+		}
+		if s.rf != nil {
+			// Foreign appends: index the framed records, keep the cover
+			// point at the scan end (NOT the file size — see above).
+			s.size = s.scanTail(s.size, st.Size())
+		}
+	}
+}
+
+// RefreshDiskCache re-synchronizes the process's resident segment index
+// for dir with whatever sibling processes did to the directory since we
+// last looked — the invalidation hook a long-lived server runs before
+// serving each request. Lock-free and cheap: one stat when nothing
+// changed, a tail scan or index reload when something did. dir ""
+// (persistence off) is a no-op.
+func RefreshDiskCache(dir string) {
+	if dir == "" {
+		return
+	}
+	segmentStore(dir).refresh()
+}
+
+// FlushDiskCache rewrites dir's segment index sidecar if this process
+// changed the index since the last write — the graceful-shutdown hook
+// for long-lived processes, which otherwise flush only once per grid
+// run. Failure is silent, like every sidecar write: the tail scan
+// recovers everything the sidecar would have said. dir "" is a no-op.
+func FlushDiskCache(dir string) {
+	if dir == "" {
+		return
+	}
+	segmentStore(dir).flushIndex()
+}
+
 // append writes one record to the segment and indexes it in memory,
 // holding the directory's cross-process writer lock around the
 // stat+write so concurrent processes' appends serialize and every index
