@@ -381,6 +381,21 @@ func run(args []string, out io.Writer) error {
 		}))
 	}
 
+	// Read the baseline BEFORE writing the report: -o and -compare may
+	// name the same file (the "regenerate while proving nothing drifted"
+	// flow), and writing first would silently compare the run to itself.
+	var baseline *Report
+	if *comparePath != "" {
+		baseData, err := os.ReadFile(*comparePath)
+		if err != nil {
+			return fmt.Errorf("reading baseline: %w", err)
+		}
+		baseline = new(Report)
+		if err := json.Unmarshal(baseData, baseline); err != nil {
+			return fmt.Errorf("parsing baseline %s: %w", *comparePath, err)
+		}
+	}
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -395,16 +410,8 @@ func run(args []string, out io.Writer) error {
 			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
 	}
 
-	if *comparePath != "" {
-		baseData, err := os.ReadFile(*comparePath)
-		if err != nil {
-			return fmt.Errorf("reading baseline: %w", err)
-		}
-		var baseline Report
-		if err := json.Unmarshal(baseData, &baseline); err != nil {
-			return fmt.Errorf("parsing baseline %s: %w", *comparePath, err)
-		}
-		n, err := compareReports(report, baseline, *tol)
+	if baseline != nil {
+		n, err := compareReports(report, *baseline, *tol)
 		if err != nil {
 			return err
 		}

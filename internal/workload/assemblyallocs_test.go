@@ -1,0 +1,122 @@
+package workload
+
+// The grid-side allocation contracts, the workload mirror of
+// tcpsim's TestEngineSteadyStateAllocs (PERFORMANCE.md): cell
+// execution assembly and warm record loads both run on reused buffers,
+// so a 10⁵-cell grid neither allocates per client on the way in nor
+// garbage-collects its way through a warm open.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/tcpsim"
+	"repro/internal/units"
+)
+
+// TestCellAssemblyAllocs gates the execution-side assembly
+// (runExperimentRow with a worker scratch): once the scratch is warm,
+// the only allocation left per cell is the row's escaping
+// TransferTimes slice — specs, per-client aggregation, the Result and
+// its Clients, and the quantile sample all reuse the worker's buffers.
+func TestCellAssemblyAllocs(t *testing.T) {
+	for name, strat := range map[string]Strategy{
+		"simultaneous": SpawnSimultaneous,
+		"scheduled":    SpawnScheduled,
+	} {
+		t.Run(name, func(t *testing.T) {
+			e := Experiment{
+				Duration:      2 * time.Second,
+				Concurrency:   4,
+				ParallelFlows: 8,
+				TransferSize:  0.25 * units.GB,
+				Strategy:      strat,
+				Net:           tcpsim.DefaultConfig(),
+			}
+			eng := tcpsim.NewEngine()
+			var sc runScratch
+			for i := 0; i < 2; i++ { // warm engine and scratch buffers
+				if _, err := runExperimentRow(e, false, eng, &sc); err != nil {
+					t.Fatal(err)
+				}
+			}
+			avg := testing.AllocsPerRun(20, func() {
+				if _, err := runExperimentRow(e, false, eng, &sc); err != nil {
+					t.Fatal(err)
+				}
+			})
+			// One alloc is the TransferTimes slice; allow one more for
+			// runtime noise (e.g. a map/pool internals touch), not for a
+			// per-client or per-spec regression.
+			if avg > 2 {
+				t.Fatalf("scratch-backed cell assembly allocates %.1f times per cell, want <= 2", avg)
+			}
+		})
+	}
+}
+
+// TestGridAssemblyAllocs gates the warm-open load path (the tentpole's
+// other half): reading one cell's record from a compacted v3 segment —
+// index lookup, pooled ReadAt, binary decode, acceptance check — stays
+// within a constant few allocations per cell (the fingerprint keying
+// and the row's TransferTimes), where the v2 JSON decode allocated per
+// field.
+func TestGridAssemblyAllocs(t *testing.T) {
+	dir := t.TempDir()
+	a := fastAxes()
+	seedCellRecords(t, dir, a)
+	if _, err := CompactDiskCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	ResetSegmentStores()
+	t.Cleanup(ResetSegmentStores)
+
+	na := a.normalized()
+	cells := na.Cells()
+	store := &cellStore{}
+	store.setDir(dir)
+	fps := make([]string, len(cells))
+	for i, c := range cells {
+		fps[i] = cellFingerprint(na.experiment(c))
+	}
+	var row SweepRow
+	for i, c := range cells { // warm: index load, handle open, pool fill
+		if src := store.load(fps[i], c, &row); src != srcSegment {
+			t.Fatalf("cell %d not served from segment (src=%d)", i, src)
+		}
+	}
+
+	c, fp := cells[3], fps[3]
+	avg := testing.AllocsPerRun(100, func() {
+		var r SweepRow
+		if store.load(fp, c, &r) != srcSegment {
+			t.Fatal("warm load missed")
+		}
+	})
+	t.Logf("warm per-cell load: %.1f allocs", avg)
+	// Budget: fingerprint keying (the []byte conversion + hex digest)
+	// plus the row's TransferTimes slice, with one spare — NOT a JSON
+	// decoder's per-field garbage.
+	if avg > 6 {
+		t.Fatalf("warm per-cell segment load allocates %.1f times, want <= 6", avg)
+	}
+
+	// The whole warm assembly — fingerprinting, planner fetch pool,
+	// loads, row placement — measured per cell: the figure a 10⁵-cell
+	// warm open multiplies.
+	warmGrid := func() {
+		g, err := runGridIncremental(na, 0, store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(g.Rows) != len(cells) {
+			t.Fatal("short grid")
+		}
+	}
+	warmGrid()
+	perCell := testing.AllocsPerRun(10, warmGrid) / float64(len(cells))
+	t.Logf("warm grid assembly: %.1f allocs per cell", perCell)
+	if perCell > 30 {
+		t.Fatalf("warm grid assembly allocates %.1f times per cell, want <= 30", perCell)
+	}
+}

@@ -1,0 +1,175 @@
+package workload
+
+// The v3 cell-record payload: a fixed-layout binary encoding of one
+// SweepRow plus its full fingerprint, carried inside the segment file's
+// RSG2 CRC-guarded frames (segstore.go). v2 put a JSON diskEnvelope in
+// the frame; at 10⁴–10⁶ cells the warm open was JSON-decode-bound
+// (~20 µs/cell), and the CRC already guarantees integrity, so JSON
+// inside the frame bought nothing but readability. The binary layout
+// decodes in ~1 µs with exactly one allocation (the row's escaping
+// TransferTimes slice) and every field offset is computable, so decode
+// is bounds-checked arithmetic, never a parser.
+//
+// Layout (all integers little-endian, all floats IEEE-754 bits LE):
+//
+//	[4]  payload magic "RBC3" (distinguishes v3 payloads from v2 JSON,
+//	     whose first byte is '{')
+//	[2]  fingerprint length L (uint16)
+//	[L]  fingerprint (the canonical cellFingerprint string)
+//	[4]  Concurrency   (int32)
+//	[4]  ParallelFlows (int32)
+//	[8]  OfferedLoad   (float64)
+//	[8]  Utilization   (float64)
+//	[8]  Worst (int64 nanoseconds)
+//	[8]  P50   (int64 nanoseconds)
+//	[8]  P90   (int64 nanoseconds)
+//	[8]  P99   (int64 nanoseconds)
+//	[8]  SSS           (float64)
+//	[4]  transfer-time count n (uint32)
+//	[8n] TransferTimes (float64 each, client order)
+//
+// The payload length is exact: binFixedSize + L + 8n bytes, no more, no
+// less — decode rejects any slack, so a CRC-valid but structurally
+// foreign payload can never half-parse. SweepRow.Result is deliberately
+// absent: rows that pin client results never touch the store (the
+// planner skips persistence when KeepClientResults is set), matching
+// the v2 behavior where Result was always null in stored records.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+)
+
+const (
+	// binMagic brands a v3 binary payload inside an RSG2 frame.
+	binMagic = "RBC3"
+
+	// binPreludeSize is magic + fingerprint length word.
+	binPreludeSize = 4 + 2
+	// binRowFixedSize is the fixed-width row section between the
+	// fingerprint and the transfer times: two int32 coordinates, five
+	// float64s, four int64 durations, and the times count.
+	binRowFixedSize = 4 + 4 + 8 + 8 + 8 + 8 + 8 + 8 + 8 + 4
+	// binFixedSize is a payload's size excluding the two variable parts
+	// (fingerprint bytes, transfer times).
+	binFixedSize = binPreludeSize + binRowFixedSize
+
+	// binMaxFingerprint bounds the fingerprint length field (uint16).
+	binMaxFingerprint = math.MaxUint16
+)
+
+// isBinPayload reports whether a framed payload is a v3 binary record
+// (as opposed to a v2 JSON envelope).
+func isBinPayload(p []byte) bool {
+	return len(p) >= len(binMagic) && string(p[:len(binMagic)]) == binMagic
+}
+
+// binRecordSize returns the exact payload size encodeBinRecord will
+// produce, or an error for rows the fixed layout cannot carry (out of
+// practice these never occur: coordinates are small positive ints and a
+// record's clients number in the thousands).
+func binRecordSize(fp string, row SweepRow) (int, error) {
+	if len(fp) == 0 || len(fp) > binMaxFingerprint {
+		return 0, fmt.Errorf("workload: cell fingerprint length %d outside [1,%d]", len(fp), binMaxFingerprint)
+	}
+	if row.Concurrency < math.MinInt32 || row.Concurrency > math.MaxInt32 ||
+		row.ParallelFlows < math.MinInt32 || row.ParallelFlows > math.MaxInt32 {
+		return 0, fmt.Errorf("workload: cell coordinates (%d,%d) exceed int32", row.Concurrency, row.ParallelFlows)
+	}
+	n := len(row.TransferTimes)
+	if int64(binFixedSize)+int64(len(fp))+8*int64(n) > segMaxRecord {
+		return 0, fmt.Errorf("workload: cell record with %d transfer times exceeds the segment record bound", n)
+	}
+	return binFixedSize + len(fp) + 8*n, nil
+}
+
+// encodeBinRecord writes the payload into buf, which must be exactly
+// binRecordSize bytes (callers size it from binRecordSize, so the frame,
+// payload and CRC are built in one buffer with zero copies).
+func encodeBinRecord(buf []byte, fp string, row SweepRow) {
+	copy(buf, binMagic)
+	binary.LittleEndian.PutUint16(buf[4:6], uint16(len(fp)))
+	copy(buf[binPreludeSize:], fp)
+	o := binPreludeSize + len(fp)
+	binary.LittleEndian.PutUint32(buf[o:], uint32(int32(row.Concurrency)))
+	binary.LittleEndian.PutUint32(buf[o+4:], uint32(int32(row.ParallelFlows)))
+	binary.LittleEndian.PutUint64(buf[o+8:], math.Float64bits(row.OfferedLoad))
+	binary.LittleEndian.PutUint64(buf[o+16:], math.Float64bits(row.Utilization))
+	binary.LittleEndian.PutUint64(buf[o+24:], uint64(row.Worst))
+	binary.LittleEndian.PutUint64(buf[o+32:], uint64(row.P50))
+	binary.LittleEndian.PutUint64(buf[o+40:], uint64(row.P90))
+	binary.LittleEndian.PutUint64(buf[o+48:], uint64(row.P99))
+	binary.LittleEndian.PutUint64(buf[o+56:], math.Float64bits(row.SSS))
+	binary.LittleEndian.PutUint32(buf[o+64:], uint32(len(row.TransferTimes)))
+	o += binRowFixedSize
+	for _, t := range row.TransferTimes {
+		binary.LittleEndian.PutUint64(buf[o:], math.Float64bits(t))
+		o += 8
+	}
+}
+
+// binRecordShape validates a payload's structure without decoding it:
+// magic, fingerprint bounds, and the exact-length invariant. It returns
+// the fingerprint bytes (aliasing p — callers must not retain them past
+// p's lifetime) so scan-time keying and load-time comparison both run
+// allocation-free.
+func binRecordShape(p []byte) (fpBytes []byte, ok bool) {
+	if !isBinPayload(p) || len(p) < binFixedSize {
+		return nil, false
+	}
+	l := int(binary.LittleEndian.Uint16(p[4:6]))
+	if l == 0 || len(p) < binFixedSize+l {
+		return nil, false
+	}
+	n := int(binary.LittleEndian.Uint32(p[binPreludeSize+l+binRowFixedSize-4:]))
+	if n < 0 || len(p) != binFixedSize+l+8*n {
+		return nil, false
+	}
+	return p[binPreludeSize : binPreludeSize+l], true
+}
+
+// binRecordFingerprint returns the fingerprint of a structurally valid
+// v3 payload (as a fresh string — scan-time keying owns it), or false.
+func binRecordFingerprint(p []byte) (string, bool) {
+	fpBytes, ok := binRecordShape(p)
+	if !ok {
+		return "", false
+	}
+	return string(fpBytes), true
+}
+
+// decodeBinRecord parses a v3 payload into out, reporting false — a
+// miss, never an error or a panic — on any structural defect or on a
+// fingerprint that is not fp (a prefix collision or a record relocated
+// under the wrong key: the embedded fingerprint is the authority). The
+// only allocation is out's TransferTimes slice.
+func decodeBinRecord(p []byte, fp string, out *SweepRow) bool {
+	fpBytes, ok := binRecordShape(p)
+	if !ok || string(fpBytes) != fp {
+		return false
+	}
+	o := binPreludeSize + len(fpBytes)
+	out.Concurrency = int(int32(binary.LittleEndian.Uint32(p[o:])))
+	out.ParallelFlows = int(int32(binary.LittleEndian.Uint32(p[o+4:])))
+	out.OfferedLoad = math.Float64frombits(binary.LittleEndian.Uint64(p[o+8:]))
+	out.Utilization = math.Float64frombits(binary.LittleEndian.Uint64(p[o+16:]))
+	out.Worst = time.Duration(binary.LittleEndian.Uint64(p[o+24:]))
+	out.P50 = time.Duration(binary.LittleEndian.Uint64(p[o+32:]))
+	out.P90 = time.Duration(binary.LittleEndian.Uint64(p[o+40:]))
+	out.P99 = time.Duration(binary.LittleEndian.Uint64(p[o+48:]))
+	out.SSS = math.Float64frombits(binary.LittleEndian.Uint64(p[o+56:]))
+	n := int(binary.LittleEndian.Uint32(p[o+64:]))
+	o += binRowFixedSize
+	out.TransferTimes = nil
+	if n > 0 {
+		out.TransferTimes = make([]float64, n)
+		for i := range out.TransferTimes {
+			out.TransferTimes[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[o:]))
+			o += 8
+		}
+	}
+	out.Result = nil
+	return true
+}

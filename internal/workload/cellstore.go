@@ -14,9 +14,12 @@ package workload
 // Since v2 the records live in an indexed segment file (segstore.go) —
 // one append-only file plus an index sidecar — instead of one JSON file
 // per cell: at 10⁴+ cells the per-file layout spends more time in
-// filesystem metadata than in payload. Loose v1 per-cell files remain
-// readable (migration by miss: a segment miss falls back to the v1
-// file) and are folded into the segment by compaction.
+// filesystem metadata than in payload. Since v3 the payload inside each
+// CRC-guarded frame is a fixed-layout binary row (binrecord.go) instead
+// of a JSON envelope: at 10⁵+ cells the warm open was JSON-decode-bound.
+// Both older generations remain readable (migration by miss: v2 JSON
+// segment records still serve hits, and a segment miss falls back to
+// the cell's loose v1 file) and are folded to v3 by compaction.
 //
 // The store is corruption-tolerant (any defective record is a miss that
 // recomputes only that cell) and degrades to persistence-off — with a
@@ -29,28 +32,34 @@ import (
 	"io"
 	"os"
 	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// CellRecordVersion stamps every cell record on disk: segment records,
-// the index sidecar, and (historically) loose per-cell files. v2 marks
-// the indexed-segment-file store; the simulation dynamics, seed
-// derivation and SweepRow schema are unchanged from v1, so loose v1
-// records stay loadable through legacyCellRecordVersion and migrate by
+// CellRecordVersion stamps the cell-record container generation: the
+// index sidecar and (via the "RBC3" payload magic, binrecord.go) every
+// v3 segment record. v3 marks the fixed-layout binary row encoding
+// inside the RSG2 frames; the simulation dynamics, seed derivation and
+// SweepRow schema are unchanged from v1/v2, so older records stay
+// loadable through the legacy fallbacks below and migrate by
 // miss/compaction rather than recomputing. Bump this whenever the
 // simulation dynamics, the per-cell seed derivation, or the SweepRow
 // schema change: stale records then fail the version check and are
-// recomputed — and drop the legacy fallback in the same commit if the
+// recomputed — and drop BOTH legacy fallbacks in the same commit if the
 // rows themselves go stale.
-const CellRecordVersion = "repro-cells/v2"
+const CellRecordVersion = "repro-cells/v3"
 
-// legacyCellRecordVersion is the v1 loose-file stamp. v1 rows are
-// bit-identical to v2 rows (only the container changed), so a segment
-// miss may be served by the cell's loose v1 file.
-const legacyCellRecordVersion = "repro-cells/v1"
+// legacyCellRecordVersion is the v2 segment-record stamp: JSON
+// diskEnvelope payloads inside the RSG2 frames. v2 rows are
+// bit-identical to v3 rows (only the payload encoding changed), so v2
+// records keep serving segment hits until compaction folds them to v3.
+const legacyCellRecordVersion = "repro-cells/v2"
+
+// looseCellRecordVersion is the v1 loose-file stamp: one JSON envelope
+// file per cell. v1 rows are bit-identical too, so a segment miss may
+// still be served by the cell's loose v1 file (migration by miss).
+const looseCellRecordVersion = "repro-cells/v1"
 
 // cellFingerprint returns the canonical key of one cell's experiment,
 // covering every field that affects the cell's row: duration, the
@@ -60,20 +69,55 @@ const legacyCellRecordVersion = "repro-cells/v1"
 // stored record a sound substitute for a recompute. KeepClientResults is
 // deliberately absent: rows that pin client results never touch the
 // store (the planner skips persistence entirely).
+// The rendering is strconv.Append* on one grown buffer rather than
+// fmt.Fprintf: the fingerprint is computed once per cell per warm open
+// (10⁵–10⁶ times for portfolio grids), and fmt's reflection-driven
+// formatting cost more than the binary record decode it keys. The
+// output bytes are pinned — byte-for-byte — by
+// TestCellFingerprintMatchesReference against a fmt-based reference:
+// every record already on disk is keyed by these exact strings.
 func cellFingerprint(e Experiment) string {
-	var b strings.Builder
-	b.Grow(256)
-	f := func(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
-	fmt.Fprintf(&b, "cell;dur=%d;conc=%d;p=%d;size=%s;strat=%d",
-		int64(e.Duration), e.Concurrency, e.ParallelFlows,
-		f(float64(e.TransferSize)), int(e.Strategy))
+	b := make([]byte, 0, 256)
+	b = append(b, "cell;dur="...)
+	b = strconv.AppendInt(b, int64(e.Duration), 10)
+	b = append(b, ";conc="...)
+	b = strconv.AppendInt(b, int64(e.Concurrency), 10)
+	b = append(b, ";p="...)
+	b = strconv.AppendInt(b, int64(e.ParallelFlows), 10)
+	b = append(b, ";size="...)
+	b = strconv.AppendFloat(b, float64(e.TransferSize), 'g', -1, 64)
+	b = append(b, ";strat="...)
+	b = strconv.AppendInt(b, int64(e.Strategy), 10)
 	n := e.Net
-	fmt.Fprintf(&b, ";cap=%s;rtt=%d;mss=%s;buf=%s;icw=%d;rto=%d;seed=%d;maxt=%s;rq=%t;cc=%d",
-		f(float64(n.Capacity)), int64(n.BaseRTT), f(float64(n.MSS)), f(float64(n.Buffer)),
-		n.InitCwndSegments, int64(n.RTO), n.Seed, f(n.MaxTime), n.RecordQueue, int(n.CC))
-	fmt.Fprintf(&b, ";xfrac=%s;xper=%d;xduty=%s;xjit=%t",
-		f(n.Cross.Fraction), int64(n.Cross.Period), f(n.Cross.Duty), n.Cross.PhaseJitter)
-	return b.String()
+	b = append(b, ";cap="...)
+	b = strconv.AppendFloat(b, float64(n.Capacity), 'g', -1, 64)
+	b = append(b, ";rtt="...)
+	b = strconv.AppendInt(b, int64(n.BaseRTT), 10)
+	b = append(b, ";mss="...)
+	b = strconv.AppendFloat(b, float64(n.MSS), 'g', -1, 64)
+	b = append(b, ";buf="...)
+	b = strconv.AppendFloat(b, float64(n.Buffer), 'g', -1, 64)
+	b = append(b, ";icw="...)
+	b = strconv.AppendInt(b, int64(n.InitCwndSegments), 10)
+	b = append(b, ";rto="...)
+	b = strconv.AppendInt(b, int64(n.RTO), 10)
+	b = append(b, ";seed="...)
+	b = strconv.AppendInt(b, n.Seed, 10)
+	b = append(b, ";maxt="...)
+	b = strconv.AppendFloat(b, n.MaxTime, 'g', -1, 64)
+	b = append(b, ";rq="...)
+	b = strconv.AppendBool(b, n.RecordQueue)
+	b = append(b, ";cc="...)
+	b = strconv.AppendInt(b, int64(n.CC), 10)
+	b = append(b, ";xfrac="...)
+	b = strconv.AppendFloat(b, n.Cross.Fraction, 'g', -1, 64)
+	b = append(b, ";xper="...)
+	b = strconv.AppendInt(b, int64(n.Cross.Period), 10)
+	b = append(b, ";xduty="...)
+	b = strconv.AppendFloat(b, n.Cross.Duty, 'g', -1, 64)
+	b = append(b, ";xjit="...)
+	b = strconv.AppendBool(b, n.Cross.PhaseJitter)
+	return string(b)
 }
 
 // cellStore persists SweepRows keyed by cell fingerprint under one
@@ -139,7 +183,7 @@ type cellSource uint8
 
 const (
 	srcMiss    cellSource = iota // not on disk: the cell must execute
-	srcSegment                   // served from the v2 segment file
+	srcSegment                   // served from the segment file (v3 binary or v2 JSON record)
 	srcDisk                      // served from a loose v1 per-cell file
 )
 
@@ -177,7 +221,7 @@ func (s *cellStore) load(fp string, c GridCell, row *SweepRow) cellSource {
 		seg.dropKey(fingerprintKey(fp))
 	}
 	rec = SweepRow{}
-	if diskLoad(dir, legacyCellRecordVersion, fp, &rec) {
+	if diskLoad(dir, looseCellRecordVersion, fp, &rec) {
 		if acceptRow(rec, c) {
 			*row = rec
 			return srcDisk

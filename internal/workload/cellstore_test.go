@@ -36,7 +36,7 @@ func seedLegacyCellRecords(t *testing.T, dir string, a Axes) []GridRow {
 	na := a.normalized()
 	for _, row := range g.Rows {
 		fp := cellFingerprint(na.experiment(row.Cell))
-		if err := diskStore(dir, legacyCellRecordVersion, fp, row.SweepRow); err != nil {
+		if err := diskStore(dir, looseCellRecordVersion, fp, row.SweepRow); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -76,7 +76,7 @@ var cellCorruptionCases = map[string]func(t *testing.T, path, otherPath string){
 		if err := json.Unmarshal(data, &env); err != nil {
 			t.Fatal(err)
 		}
-		env.Version = "repro-cells/v0-ancient" // neither v1 (legacy) nor v2
+		env.Version = "repro-cells/v0-ancient" // no loose-file generation ever used this
 		out, err := json.Marshal(env)
 		if err != nil {
 			t.Fatal(err)

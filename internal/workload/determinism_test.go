@@ -72,7 +72,11 @@ func TestSweepDeterminism(t *testing.T) {
 			var rows []SweepRow
 			for _, p := range cfg.ParallelFlows {
 				for _, conc := range cfg.Concurrencies {
-					row, err := runCell(cfg, conc, p, tcpsim.NewEngine())
+					// Fresh engine AND nil scratch: this driver exercises the
+					// allocate-per-cell path against the scratch-reusing
+					// drivers above, so the two assembly modes are held
+					// bit-identical.
+					row, err := runCell(cfg, conc, p, tcpsim.NewEngine(), nil)
 					if err != nil {
 						return nil, err
 					}

@@ -121,13 +121,27 @@ func TestPersistentAppendFaultDegrades(t *testing.T) {
 // TestShortWriteTornRecordReclaimed: a short write tears a record at
 // the segment tail. The retry re-appends it cleanly past the torn
 // bytes, so a fresh open serves every cell; the torn bytes are dead
-// space that compaction measurably reclaims.
+// space that compaction measurably reclaims. Two tear points: inside
+// the v3 payload's fingerprint prelude (20 bytes: past the frame
+// header, mid-fingerprint) and inside the binary row's fixed fields
+// (past the fingerprint, mid-duration) — the scan must reject both
+// torn shapes identically.
 func TestShortWriteTornRecordReclaimed(t *testing.T) {
+	na := fastAxes().normalized()
+	fpLen := len(cellFingerprint(na.experiment(na.Cells()[0])))
+	for name, torn := range map[string]int{
+		"mid-fingerprint":     20,
+		"mid-row-fixed-field": segHeaderSize + binPreludeSize + fpLen + 30,
+	} {
+		t.Run(name, func(t *testing.T) { testShortWriteTorn(t, torn) })
+	}
+}
+
+func testShortWriteTorn(t *testing.T, torn int) {
 	buf := resetFaultState(t)
 	dir := t.TempDir()
-	const torn = 20 // mid-record: past the header, inside the payload
 	fsfault.Enable("segstore.append.write", fsfault.Fault{
-		AllowBytes: torn, Err: io.ErrShortWrite, Once: true,
+		AllowBytes: int64(torn), Err: io.ErrShortWrite, Once: true,
 	})
 
 	ref := coldRun(t, dir, fastAxes())
@@ -151,7 +165,7 @@ func TestShortWriteTornRecordReclaimed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.ReclaimedBytes != torn {
+	if st.ReclaimedBytes != int64(torn) {
 		t.Errorf("compaction reclaimed %d bytes, want the %d torn bytes", st.ReclaimedBytes, torn)
 	}
 	if st.Records != len(fastAxes().Cells()) {

@@ -12,7 +12,6 @@ package workload
 
 import (
 	"fmt"
-	"hash/fnv"
 	"runtime"
 	"strconv"
 	"strings"
@@ -201,10 +200,31 @@ func (a Axes) netPointSeedOffset(c GridCell) int64 {
 		c.CC == a.Net.CC && c.CrossFraction == a.Net.Cross.Fraction {
 		return 0
 	}
-	h := fnv.New64a()
-	fmt.Fprintf(h, "rtt=%d;buf=%s;cc=%d;cross=%s",
-		int64(c.RTT), strconv.FormatFloat(float64(c.Buffer), 'g', -1, 64),
-		int(c.CC), strconv.FormatFloat(c.CrossFraction, 'g', -1, 64))
+	// Inline FNV-64a over the point's canonical rendering — computed once
+	// per cell per warm open, so the hash runs on a stack buffer with no
+	// hasher or fmt allocations. The bytes hashed (and therefore every
+	// seed, and every record keyed by it) are pinned byte-for-byte by
+	// TestNetPointSeedOffsetMatchesReference against the fmt/fnv
+	// reference this replaced.
+	var arr [96]byte
+	b := arr[:0]
+	b = append(b, "rtt="...)
+	b = strconv.AppendInt(b, int64(c.RTT), 10)
+	b = append(b, ";buf="...)
+	b = strconv.AppendFloat(b, float64(c.Buffer), 'g', -1, 64)
+	b = append(b, ";cc="...)
+	b = strconv.AppendInt(b, int64(c.CC), 10)
+	b = append(b, ";cross="...)
+	b = strconv.AppendFloat(b, c.CrossFraction, 'g', -1, 64)
+	const (
+		fnvOffset64 = 14695981039346656037
+		fnvPrime64  = 1099511628211
+	)
+	h := uint64(fnvOffset64)
+	for _, x := range b {
+		h ^= uint64(x)
+		h *= fnvPrime64
+	}
 	// Spread offsets at least netSeedStride apart so they cannot collide
 	// with the Table 2 plane's conc*100+P term; +1 keeps every non-base
 	// point away from the base point's 0. Unlike the old NetIndex scheme,
@@ -213,7 +233,7 @@ func (a Axes) netPointSeedOffset(c GridCell) int64 {
 	// collision would correlate two cells' loss randomization, never
 	// corrupt results or the cache), and any grid-aware resolution would
 	// reintroduce the position dependence this function exists to remove.
-	return int64(h.Sum64()%(1<<42)+1) * netSeedStride
+	return int64(h%(1<<42)+1) * netSeedStride
 }
 
 // experiment lowers one cell to a runnable Experiment with its
@@ -374,12 +394,14 @@ func executeCells(a Axes, cells []GridCell, rows []GridRow, workers int, onRow f
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// One engine per worker: cells share its buffers, so the
-			// congestion loop allocates nothing after the first cell.
+			// One engine and one assembly scratch per worker: cells share
+			// their buffers, so neither the congestion loop nor the
+			// spec/result assembly allocates after the first cell.
 			eng := tcpsim.NewEngine()
+			var sc runScratch
 			for i := range work {
 				c := cells[i]
-				row, err := runExperimentRow(a.experiment(c), a.KeepClientResults, eng)
+				row, err := runExperimentRow(a.experiment(c), a.KeepClientResults, eng, &sc)
 				rows[c.Index] = GridRow{Cell: c, SweepRow: row}
 				errs[i] = err
 				if err == nil && onRow != nil {

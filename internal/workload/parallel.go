@@ -43,11 +43,13 @@ func RunSweepParallel(cfg SweepConfig, workers int) (*SweepResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// One engine per worker: cells share its buffers, so the
-			// congestion loop allocates nothing after the first cell.
+			// One engine and one assembly scratch per worker: cells share
+			// their buffers, so neither the congestion loop nor the
+			// spec/result assembly allocates after the first cell.
 			eng := tcpsim.NewEngine()
+			var sc runScratch
 			for c := range work {
-				rows[c.idx], errs[c.idx] = runCell(cfg, c.conc, c.p, eng)
+				rows[c.idx], errs[c.idx] = runCell(cfg, c.conc, c.p, eng, &sc)
 			}
 		}()
 	}
@@ -69,8 +71,9 @@ func RunSweepParallel(cfg SweepConfig, workers int) (*SweepResult, error) {
 }
 
 // runCell executes one sweep cell on the given engine; shared by the
-// serial and parallel drivers so both produce identical rows.
-func runCell(cfg SweepConfig, conc, p int, eng *tcpsim.Engine) (SweepRow, error) {
+// serial and parallel drivers so both produce identical rows. sc may be
+// nil (fresh buffers per cell).
+func runCell(cfg SweepConfig, conc, p int, eng *tcpsim.Engine, sc *runScratch) (SweepRow, error) {
 	e := Experiment{
 		Duration:      cfg.Duration,
 		Concurrency:   conc,
@@ -83,19 +86,33 @@ func runCell(cfg SweepConfig, conc, p int, eng *tcpsim.Engine) (SweepRow, error)
 	// experiments, as separate testbed runs would. The grid executor
 	// extends this formula with a per-network-point stride (grid.go).
 	e.Net.Seed = cfg.Net.Seed + int64(conc*100+p)
-	return runExperimentRow(e, cfg.KeepClientResults, eng)
+	return runExperimentRow(e, cfg.KeepClientResults, eng, sc)
 }
 
 // runExperimentRow executes one experiment and condenses it into a
 // SweepRow; shared by the sweep and grid executors so every driver
-// produces identical rows for identical experiments.
-func runExperimentRow(e Experiment, keep bool, eng *tcpsim.Engine) (SweepRow, error) {
-	res, err := RunWithEngine(e, eng)
+// produces identical rows for identical experiments. With a scratch the
+// assembly reuses the worker's buffers end to end and the only per-cell
+// allocation is the row's escaping TransferTimes slice
+// (TestCellAssemblyAllocs gates this); rows are bit-identical either
+// way. When keep is set the full Result escapes into the row, so the
+// scratch is refused and every buffer is freshly owned.
+func runExperimentRow(e Experiment, keep bool, eng *tcpsim.Engine, sc *runScratch) (SweepRow, error) {
+	if keep {
+		sc = nil
+	}
+	res, err := runWithEngineScratch(e, eng, sc)
 	if err != nil {
 		return SweepRow{}, err
 	}
 	times := make([]float64, len(res.Clients))
-	durations := stats.NewSample()
+	var durations *stats.Sample
+	if sc != nil {
+		sc.sample.Reset()
+		durations = &sc.sample
+	} else {
+		durations = stats.NewSample()
+	}
 	for i, c := range res.Clients {
 		times[i] = c.TransferTime()
 		durations.Add(times[i])

@@ -15,8 +15,11 @@ package workload
 //	[4] magic "RSG2"
 //	[4] payload length  (uint32 LE)
 //	[4] CRC-32 (IEEE) of the payload
-//	[n] payload: the same diskEnvelope JSON the v1 files carry
-//	    (version CellRecordVersion, full fingerprint, SweepRow)
+//	[n] payload: since v3 a fixed-layout binary row (binrecord.go:
+//	    "RBC3" magic, fingerprint, little-endian SweepRow fields);
+//	    v2 payloads — the same diskEnvelope JSON the v1 files carry —
+//	    remain readable behind legacyCellRecordVersion and are folded
+//	    to v3 by compaction.
 //
 // Robustness mirrors the v1 contract, record-granular: any defective
 // record — bad magic, bad CRC, truncated tail, index entry pointing at
@@ -254,16 +257,91 @@ func (s *segStore) scanTail(from, fileSize int64) int64 {
 		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(header[8:12]) {
 			break
 		}
-		var env diskEnvelope
-		if json.Unmarshal(payload, &env) != nil ||
-			env.Version != CellRecordVersion || env.Fingerprint == "" {
+		key, ok := segPayloadKey(payload)
+		if !ok {
 			break
 		}
-		s.index[fingerprintKey(env.Fingerprint)] = segEntry{off: off, length: segHeaderSize + n}
+		s.index[key] = segEntry{off: off, length: segHeaderSize + n}
 		off += segHeaderSize + n
 		s.dirty++
 	}
 	return off
+}
+
+// segPayloadKey returns the index key of one CRC-valid framed payload —
+// v3 binary or v2 legacy JSON — for scan-time indexing, or false for a
+// payload neither format accepts (the scan stops there).
+func segPayloadKey(payload []byte) (string, bool) {
+	if isBinPayload(payload) {
+		fp, ok := binRecordFingerprint(payload)
+		if !ok {
+			return "", false
+		}
+		return fingerprintKey(fp), true
+	}
+	var env diskEnvelope
+	if json.Unmarshal(payload, &env) != nil ||
+		env.Version != legacyCellRecordVersion || env.Fingerprint == "" {
+		return "", false
+	}
+	return fingerprintKey(env.Fingerprint), true
+}
+
+// decodeSegPayload decodes one CRC-valid framed payload into out,
+// accepting both record generations: v3 binary rows and v2 JSON
+// envelopes (migration by miss — v2 records keep serving until
+// compaction folds them). The embedded fingerprint must match fp
+// exactly; anything else reports false.
+func decodeSegPayload(payload []byte, fp string, out *SweepRow) bool {
+	if isBinPayload(payload) {
+		return decodeBinRecord(payload, fp, out)
+	}
+	var env diskEnvelope
+	if json.Unmarshal(payload, &env) != nil ||
+		env.Version != legacyCellRecordVersion ||
+		env.Fingerprint != fp ||
+		json.Unmarshal(env.Payload, out) != nil {
+		return false
+	}
+	return true
+}
+
+// segBufPool recycles record read buffers across the planner's 16-way
+// fetch pool: a warm 10⁵-cell open performs 10⁵ ReadAt calls whose
+// buffers would otherwise all be garbage. Buffers are pooled with their
+// capacity and regrown on demand (records are a few KB).
+var segBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// readRecord reads entry e through a pooled buffer and decodes it into
+// out, reporting false on any defect: short or failed read, bad frame,
+// CRC mismatch, or a payload neither record generation accepts for fp.
+func readRecord(rf *os.File, e segEntry, fp string, out *SweepRow) bool {
+	if e.length < segHeaderSize || e.length > segHeaderSize+segMaxRecord {
+		return false
+	}
+	bufp := segBufPool.Get().(*[]byte)
+	buf := *bufp
+	if int64(cap(buf)) < e.length {
+		buf = make([]byte, e.length)
+	}
+	buf = buf[:e.length]
+	ok := false
+	if _, err := rf.ReadAt(buf, e.off); err == nil &&
+		string(buf[:4]) == segMagic &&
+		int64(binary.LittleEndian.Uint32(buf[4:8])) == e.length-segHeaderSize &&
+		crc32.ChecksumIEEE(buf[segHeaderSize:]) == binary.LittleEndian.Uint32(buf[8:12]) {
+		// Decode before returning the buffer: the JSON legacy path
+		// aliases it through json.RawMessage until out is populated.
+		ok = decodeSegPayload(buf[segHeaderSize:], fp, out)
+	}
+	*bufp = buf[:0]
+	segBufPool.Put(bufp)
+	return ok
 }
 
 // load reads the record for fp into out, reporting false — a miss,
@@ -281,26 +359,7 @@ func (s *segStore) load(fp string, out *SweepRow) bool {
 	if !ok || rf == nil {
 		return false
 	}
-	if e.length < segHeaderSize || e.length > segHeaderSize+segMaxRecord {
-		s.drop(key, e, gen)
-		return false
-	}
-	buf := make([]byte, e.length)
-	if _, err := rf.ReadAt(buf, e.off); err != nil {
-		s.drop(key, e, gen)
-		return false
-	}
-	if string(buf[:4]) != segMagic ||
-		int64(binary.LittleEndian.Uint32(buf[4:8])) != e.length-segHeaderSize ||
-		crc32.ChecksumIEEE(buf[segHeaderSize:]) != binary.LittleEndian.Uint32(buf[8:12]) {
-		s.drop(key, e, gen)
-		return false
-	}
-	var env diskEnvelope
-	if json.Unmarshal(buf[segHeaderSize:], &env) != nil ||
-		env.Version != CellRecordVersion ||
-		env.Fingerprint != fp ||
-		json.Unmarshal(env.Payload, out) != nil {
+	if !readRecord(rf, e, fp, out) {
 		s.drop(key, e, gen)
 		return false
 	}
@@ -337,25 +396,18 @@ func (s *segStore) dropKey(key string) {
 	s.mu.Unlock()
 }
 
-// encodeSegRecord frames one cell record for the segment file.
+// encodeSegRecord frames one cell record for the segment file: RSG2
+// header + v3 binary payload, built in a single exactly-sized buffer.
 func encodeSegRecord(fp string, row SweepRow) ([]byte, error) {
-	raw, err := json.Marshal(row)
+	n, err := binRecordSize(fp, row)
 	if err != nil {
-		return nil, fmt.Errorf("workload: encoding cell record: %w", err)
+		return nil, err
 	}
-	payload, err := json.Marshal(diskEnvelope{
-		Version:     CellRecordVersion,
-		Fingerprint: fp,
-		Payload:     raw,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("workload: encoding cell envelope: %w", err)
-	}
-	buf := make([]byte, segHeaderSize+len(payload))
+	buf := make([]byte, segHeaderSize+n)
 	copy(buf, segMagic)
-	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(buf[8:12], crc32.ChecksumIEEE(payload))
-	copy(buf[segHeaderSize:], payload)
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(n))
+	encodeBinRecord(buf[segHeaderSize:], fp, row)
+	binary.LittleEndian.PutUint32(buf[8:12], crc32.ChecksumIEEE(buf[segHeaderSize:]))
 	return buf, nil
 }
 
@@ -725,7 +777,10 @@ func (s *segStore) compact() (CompactStats, error) {
 	}
 
 	// Live segment records first, deterministically ordered by key so
-	// two compactions of the same state write identical segments.
+	// two compactions of the same state write identical segments. v3
+	// binary records copy verbatim; v2 JSON records decode and re-encode
+	// as v3 — the fold half of migration-by-miss, one record in memory
+	// at a time. Either way a defective record is skipped (dead space).
 	keys := make([]string, 0, len(s.index))
 	for key := range s.index {
 		keys = append(keys, key)
@@ -745,15 +800,37 @@ func (s *segStore) compact() (CompactStats, error) {
 			crc32.ChecksumIEEE(buf[segHeaderSize:]) != binary.LittleEndian.Uint32(buf[8:12]) {
 			continue
 		}
-		if err := writeRec(key, buf); err != nil {
+		payload := buf[segHeaderSize:]
+		if isBinPayload(payload) {
+			if _, ok := binRecordShape(payload); !ok {
+				continue
+			}
+			if err := writeRec(key, buf); err != nil {
+				return st, err
+			}
+			continue
+		}
+		var env diskEnvelope
+		var row SweepRow
+		if json.Unmarshal(payload, &env) != nil ||
+			env.Version != legacyCellRecordVersion ||
+			env.Fingerprint == "" ||
+			json.Unmarshal(env.Payload, &row) != nil {
+			continue
+		}
+		rec, err := encodeSegRecord(env.Fingerprint, row)
+		if err != nil {
+			continue
+		}
+		if err := writeRec(key, rec); err != nil {
 			return st, err
 		}
 	}
 
-	// Then fold loose v1 per-cell files: read, validate, re-frame as
-	// segment records. The envelope version may be v1 (legacy) — the
-	// payload schema is unchanged, which is exactly why migration-by-miss
-	// works.
+	// Then fold loose per-cell files: read, validate, re-frame as v3
+	// segment records. The envelope version may be v1 (loose) or v2 —
+	// the row schema is unchanged across all three container
+	// generations, which is exactly why migration-by-miss works.
 	entries, err := os.ReadDir(s.dir)
 	if err != nil && !os.IsNotExist(err) {
 		tmp.Close()
@@ -775,7 +852,7 @@ func (s *segStore) compact() (CompactStats, error) {
 		var env diskEnvelope
 		var row SweepRow
 		if json.Unmarshal(data, &env) != nil ||
-			(env.Version != CellRecordVersion && env.Version != legacyCellRecordVersion) ||
+			(env.Version != looseCellRecordVersion && env.Version != legacyCellRecordVersion) ||
 			env.Fingerprint == "" ||
 			json.Unmarshal(env.Payload, &row) != nil {
 			continue // not a cell record (or corrupt): leave it alone

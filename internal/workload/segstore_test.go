@@ -397,6 +397,91 @@ var segCorruptionCases = map[string]func(t *testing.T, dir string, a Axes) int{
 		})
 		return 0
 	},
+	// A crash mid-append that tears the tail record INSIDE the v3 binary
+	// row's fixed fields — past the fingerprint, mid-P50 — with the
+	// sidecar gone too. The frame length says bytes the file no longer
+	// has, so the scan stops there; only the torn cell recomputes.
+	"truncated tail mid-row-field": func(t *testing.T, dir string, a Axes) int {
+		data, err := os.ReadFile(idxPathOf(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var idx segIndexFile
+		if err := json.Unmarshal(data, &idx); err != nil {
+			t.Fatal(err)
+		}
+		var off, length int64 = -1, 0
+		for _, loc := range idx.Entries {
+			if loc[0] > off {
+				off, length = loc[0], loc[1]
+			}
+		}
+		if err := os.Remove(idxPathOf(dir)); err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.Open(segPathOf(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		b := make([]byte, 2)
+		if _, err := f.ReadAt(b, off+segHeaderSize+4); err != nil {
+			t.Fatal(err)
+		}
+		fpLen := int64(binary.LittleEndian.Uint16(b))
+		cut := off + segHeaderSize + binPreludeSize + fpLen + 37 // 37 bytes into the fixed row: mid-P50
+		if cut >= off+length {
+			t.Fatalf("cut %d not inside the tail record [%d,%d)", cut, off, off+length)
+		}
+		if err := os.Truncate(segPathOf(dir), cut); err != nil {
+			t.Fatal(err)
+		}
+		return 1
+	},
+	// A flipped bit in a mid-segment record's frame length word: the
+	// framed length no longer matches the indexed one, so the read is
+	// rejected before any decode — a single-cell miss.
+	"flipped length word bit": func(t *testing.T, dir string, a Axes) int {
+		_, e := segEntryOf(t, dir, a, 9)
+		ResetSegmentStores()
+		f, err := os.OpenFile(segPathOf(dir), os.O_RDWR, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		b := make([]byte, 1)
+		if _, err := f.ReadAt(b, e.off+4); err != nil {
+			t.Fatal(err)
+		}
+		b[0] ^= 0x01
+		if _, err := f.WriteAt(b, e.off+4); err != nil {
+			t.Fatal(err)
+		}
+		return 1
+	},
+	// A v2/v3 mixed segment — the directory a half-upgraded writer fleet
+	// leaves behind: one cell's record re-appended as a v2 JSON envelope
+	// past the sidecar's cover point. The tail scan must frame it, the
+	// JSON decode path must serve it bit-identically, and NO cell may
+	// recompute (zero damaged cells).
+	"v2/v3 mixed segment": func(t *testing.T, dir string, a Axes) int {
+		na := a.normalized()
+		fp := cellFingerprint(na.experiment(na.Cells()[6]))
+		var row SweepRow
+		if !segmentStore(dir).load(fp, &row) {
+			t.Fatal("cell 6 not loadable from the seeded segment")
+		}
+		ResetSegmentStores()
+		f, err := os.OpenFile(segPathOf(dir), os.O_WRONLY|os.O_APPEND, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if _, err := f.Write(encodeLegacySegRecord(t, fp, row)); err != nil {
+			t.Fatal(err)
+		}
+		return 0
+	},
 	// A compaction that crashed between writing its temp files and the
 	// rename leaves .seg-*.tmp/.idx-*.tmp litter. The store must ignore
 	// it entirely (zero damaged cells).
@@ -522,5 +607,113 @@ func TestSegmentWarmLargeGrid(t *testing.T) {
 	}
 	if gridRowsJSON(t, g.Rows) != gridRowsJSON(t, cold.Rows) {
 		t.Fatal("2048-cell segment warm open not byte-identical to cold serial RunGrid")
+	}
+}
+
+// seedV2SegmentRecords fabricates a pre-v3 store byte-for-byte: every
+// cell framed as a v2 JSON-envelope segment record plus a v2-stamped
+// sidecar — exactly what a v2-era process left on disk. Returns the
+// cold reference rows.
+func seedV2SegmentRecords(t *testing.T, dir string, a Axes) []GridRow {
+	t.Helper()
+	cold, err := RunGrid(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	na := a.normalized()
+	var seg []byte
+	idx := segIndexFile{Version: legacyCellRecordVersion, Entries: map[string][2]int64{}}
+	for i, c := range na.Cells() {
+		fp := cellFingerprint(na.experiment(c))
+		rec := encodeLegacySegRecord(t, fp, cold.Rows[i].SweepRow)
+		idx.Entries[fingerprintKey(fp)] = [2]int64{int64(len(seg)), int64(len(rec))}
+		seg = append(seg, rec...)
+	}
+	idx.Size = int64(len(seg))
+	if err := os.WriteFile(segPathOf(dir), seg, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(idxPathOf(dir), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return cold.Rows
+}
+
+// TestV2SegmentMigration is the v2→v3 half of migration-by-miss,
+// mirroring TestLegacyMigrationByMiss one container generation up: a
+// segment full of v2 JSON records (with its v2-stamped sidecar, which
+// version-mismatches and forces the full scan) serves a grid with zero
+// engine runs and every cell attributed to the segment; compaction then
+// folds every record to v3 binary in place, after which the store is
+// still fully warm and bit-identical.
+func TestV2SegmentMigration(t *testing.T) {
+	dir := t.TempDir()
+	a := fastAxes()
+	rows := seedV2SegmentRecords(t, dir, a)
+
+	ResetSegmentStores()
+	warm := NewGridCache()
+	warm.SetDiskDir(dir)
+	base := ReadCacheStats()
+	g, err := warm.Get(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ReadCacheStats().Since(base)
+	if d.EngineRuns != 0 || d.CellsFromSegment != int64(a.Size()) || d.CellsFromDisk != 0 {
+		t.Fatalf("v2 migration stats = %v, want all %d cells from segment, zero engine runs", d, a.Size())
+	}
+	if gridRowsJSON(t, g.Rows) != gridRowsJSON(t, rows) {
+		t.Fatal("rows served from v2 records differ from the cold reference")
+	}
+
+	// Compaction folds v2 → v3: same record count, and every payload in
+	// the rewritten segment now carries the binary magic.
+	st, err := CompactDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != a.Size() {
+		t.Fatalf("compaction kept %d records, want %d", st.Records, a.Size())
+	}
+	seg, err := os.ReadFile(segPathOf(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for off := 0; off < len(seg); {
+		if string(seg[off:off+4]) != segMagic {
+			t.Fatalf("record %d: bad frame magic at offset %d", count, off)
+		}
+		n := int(binary.LittleEndian.Uint32(seg[off+4 : off+8]))
+		payload := seg[off+segHeaderSize : off+segHeaderSize+n]
+		if !isBinPayload(payload) {
+			t.Fatalf("record %d still carries a non-v3 payload after compaction", count)
+		}
+		off += segHeaderSize + n
+		count++
+	}
+	if count != a.Size() {
+		t.Fatalf("compacted segment frames %d records, want %d", count, a.Size())
+	}
+
+	ResetSegmentStores()
+	warm2 := NewGridCache()
+	warm2.SetDiskDir(dir)
+	base = ReadCacheStats()
+	g2, err := warm2.Get(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d = ReadCacheStats().Since(base)
+	if d.EngineRuns != 0 || d.CellsFromSegment != int64(a.Size()) {
+		t.Fatalf("post-fold stats = %v, want all %d cells from segment", d, a.Size())
+	}
+	if gridRowsJSON(t, g2.Rows) != gridRowsJSON(t, rows) {
+		t.Fatal("rows differ after folding v2 records to v3")
 	}
 }

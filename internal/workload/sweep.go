@@ -78,10 +78,11 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 		return nil, fmt.Errorf("workload: empty sweep axes")
 	}
 	eng := tcpsim.NewEngine()
+	var sc runScratch
 	out := &SweepResult{Config: cfg, Rows: make([]SweepRow, 0, cfg.Size())}
 	for _, p := range cfg.ParallelFlows {
 		for _, conc := range cfg.Concurrencies {
-			row, err := runCell(cfg, conc, p, eng)
+			row, err := runCell(cfg, conc, p, eng, &sc)
 			if err != nil {
 				return nil, fmt.Errorf("workload: sweep cell conc=%d P=%d: %w", conc, p, err)
 			}

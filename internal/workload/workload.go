@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/stats"
 	"repro/internal/tcpsim"
 	"repro/internal/trace"
 	"repro/internal/units"
@@ -164,15 +165,47 @@ func EngineRunCount() int64 { return engineRuns.Load() }
 // cells (zero steady-state allocations in the congestion loop). Results
 // are identical to Run; the engine must not be used concurrently.
 func RunWithEngine(e Experiment, eng *tcpsim.Engine) (*Result, error) {
+	return runWithEngineScratch(e, eng, nil)
+}
+
+// clientAgg accumulates one client's flows while aggregating a
+// simulation result (a client finishes when its last flow does).
+type clientAgg struct {
+	end         float64
+	bytes       float64
+	retransmits int64
+	flows       int
+}
+
+// runScratch holds the per-worker buffers the experiment assembly path
+// reuses across cells, extending the engine's 0-alloc discipline to the
+// orchestration around it: flow specs, per-client aggregation, the
+// transient Result, and the quantile sample all live here. A scratch
+// belongs to one worker goroutine; the Result it backs is overwritten
+// by the next cell, so scratch-backed Results must be condensed (into a
+// SweepRow) before the worker moves on — runExperimentRow does exactly
+// that, and refuses the scratch when rows pin client results.
+type runScratch struct {
+	specs    []tcpsim.FlowSpec
+	byClient []clientAgg
+	clients  []ClientResult
+	res      Result
+	sample   stats.Sample
+}
+
+// runWithEngineScratch is RunWithEngine with an optional scratch (nil
+// allocates fresh buffers — the public API's behavior). Outputs are
+// bit-identical either way; only ownership of the Result differs.
+func runWithEngineScratch(e Experiment, eng *tcpsim.Engine, sc *runScratch) (*Result, error) {
 	if err := e.Validate(); err != nil {
 		return nil, err
 	}
 	engineRuns.Add(1)
 	switch e.Strategy {
 	case SpawnSimultaneous:
-		return runSimultaneous(e, eng)
+		return runSimultaneous(e, eng, sc)
 	case SpawnScheduled:
-		return runScheduled(e, eng)
+		return runScheduled(e, eng, sc)
 	default:
 		return nil, fmt.Errorf("workload: unknown strategy %d", int(e.Strategy))
 	}
@@ -183,14 +216,19 @@ func flowID(client, flow int) int { return client*1000 + flow }
 
 func clientOf(id int) int { return id / 1000 }
 
-func runSimultaneous(e Experiment, eng *tcpsim.Engine) (*Result, error) {
+func runSimultaneous(e Experiment, eng *tcpsim.Engine, sc *runScratch) (*Result, error) {
 	seconds := int(e.Duration.Seconds())
 	if seconds < 1 {
 		seconds = 1
 	}
 	perFlow := units.ByteSize(e.TransferSize.Bytes() / float64(e.ParallelFlows))
 	nClients := seconds * e.Concurrency
-	specs := make([]tcpsim.FlowSpec, 0, nClients*e.ParallelFlows)
+	var specs []tcpsim.FlowSpec
+	if sc != nil {
+		specs = sc.specs[:0]
+	} else {
+		specs = make([]tcpsim.FlowSpec, 0, nClients*e.ParallelFlows)
+	}
 	client := 0
 	for sec := 0; sec < seconds; sec++ {
 		for k := 0; k < e.Concurrency; k++ {
@@ -205,6 +243,9 @@ func runSimultaneous(e Experiment, eng *tcpsim.Engine) (*Result, error) {
 			client++
 		}
 	}
+	if sc != nil {
+		sc.specs = specs // keep the grown capacity for the next cell
+	}
 	simRes, err := eng.Run(e.Net, specs)
 	if err != nil {
 		return nil, fmt.Errorf("workload: simulating %d flows: %w", len(specs), err)
@@ -213,13 +254,16 @@ func runSimultaneous(e Experiment, eng *tcpsim.Engine) (*Result, error) {
 	// Aggregate flows into clients: a client finishes when its last
 	// flow does. Client IDs are dense (0..nClients-1), so a slice
 	// replaces the seed's per-cell maps.
-	type agg struct {
-		end         float64
-		bytes       float64
-		retransmits int64
-		flows       int
+	var byClient []clientAgg
+	if sc != nil {
+		if cap(sc.byClient) < nClients {
+			sc.byClient = make([]clientAgg, nClients)
+		}
+		byClient = sc.byClient[:nClients]
+		clear(byClient)
+	} else {
+		byClient = make([]clientAgg, nClients)
 	}
-	byClient := make([]agg, nClients)
 	for _, f := range simRes.Flows {
 		c := clientOf(f.ID)
 		a := &byClient[c]
@@ -230,8 +274,14 @@ func runSimultaneous(e Experiment, eng *tcpsim.Engine) (*Result, error) {
 		a.retransmits += f.Retransmits
 		a.flows++
 	}
-	res := &Result{Experiment: e, DroppedBytes: simRes.DroppedBytes}
-	res.Clients = make([]ClientResult, 0, nClients)
+	var res *Result
+	if sc != nil {
+		res = &sc.res
+		*res = Result{Experiment: e, DroppedBytes: simRes.DroppedBytes, Clients: sc.clients[:0]}
+	} else {
+		res = &Result{Experiment: e, DroppedBytes: simRes.DroppedBytes,
+			Clients: make([]ClientResult, 0, nClients)}
+	}
 	for c := 0; c < client; c++ {
 		a := &byClient[c]
 		if a.flows == 0 {
@@ -249,6 +299,9 @@ func runSimultaneous(e Experiment, eng *tcpsim.Engine) (*Result, error) {
 			Retransmits: a.retransmits,
 		})
 	}
+	if sc != nil {
+		sc.clients = res.Clients // appends may have regrown the backing array
+	}
 	util, err := simRes.MeanUtilization(e.Net)
 	if err != nil {
 		return nil, fmt.Errorf("workload: utilization: %w", err)
@@ -257,7 +310,7 @@ func runSimultaneous(e Experiment, eng *tcpsim.Engine) (*Result, error) {
 	return finalize(res)
 }
 
-func runScheduled(e Experiment, eng *tcpsim.Engine) (*Result, error) {
+func runScheduled(e Experiment, eng *tcpsim.Engine, sc *runScratch) (*Result, error) {
 	seconds := int(e.Duration.Seconds())
 	if seconds < 1 {
 		seconds = 1
@@ -271,7 +324,13 @@ func runScheduled(e Experiment, eng *tcpsim.Engine) (*Result, error) {
 	}
 	solo := soloFCT.Seconds()
 
-	res := &Result{Experiment: e}
+	var res *Result
+	if sc != nil {
+		res = &sc.res
+		*res = Result{Experiment: e, Clients: sc.clients[:0]}
+	} else {
+		res = &Result{Experiment: e}
+	}
 	linkFree := 0.0
 	client := 0
 	for sec := 0; sec < seconds; sec++ {
@@ -293,6 +352,9 @@ func runScheduled(e Experiment, eng *tcpsim.Engine) (*Result, error) {
 			})
 			client++
 		}
+	}
+	if sc != nil {
+		sc.clients = res.Clients
 	}
 	// Utilization: payload over makespan at link rate.
 	makespan := linkFree
