@@ -14,10 +14,11 @@
 // behavior, machine-independent) drifts from the tracked report by more
 // than the relative tolerance -tol. CI uses this (scripts/benchcmp.sh)
 // to catch silent changes to the sweep dynamics — and, via the
-// engine_runs = 0 of grid_subgrid_warm, grid_segment_warm, and
-// service_warm_decision, any regression of the cell store's sub-grid
-// reuse, segment warm-open, or resident-service warm-request
-// guarantees; timings are never compared, so the gate is noise-free.
+// engine_runs = 0 of grid_subgrid_warm, grid_segment_warm,
+// grid_open_100k, and service_warm_decision, any regression of the cell
+// store's sub-grid reuse, segment warm-open (small and 100,000-cell
+// scale), or resident-service warm-request guarantees; timings are
+// never compared, so the gate is noise-free.
 package main
 
 import (
@@ -143,6 +144,34 @@ func subgridAxes() (super, sub workload.Axes) {
 	sub = super
 	sub.RTTs = super.RTTs[2:]
 	return super, sub
+}
+
+// bigGridAxes is the grid_open_100k scenario's grid: exactly 100,000
+// cells (2 conc × 2 P × 2 sizes × 125 RTTs × 5 buffers × 2 CCs × 10
+// cross fractions) of the cheapest representable cells, so the scenario
+// measures the warm-open path — sidecar load, streaming segment reads,
+// parallel decode — rather than the simulator.
+func bigGridAxes() workload.Axes {
+	rtts := make([]time.Duration, 125)
+	for i := range rtts {
+		rtts[i] = time.Duration(i+1) * time.Millisecond
+	}
+	crosses := make([]float64, 10)
+	for i := range crosses {
+		crosses[i] = 0.05 * float64(i)
+	}
+	return workload.Axes{
+		Duration:       time.Second,
+		Concurrencies:  []int{1, 2},
+		ParallelFlows:  []int{1, 2},
+		TransferSizes:  []units.ByteSize{0.1 * units.GB, 0.2 * units.GB},
+		RTTs:           rtts,
+		Buffers:        []units.ByteSize{0, 512 * units.KB, units.MB, 2 * units.MB, 4 * units.MB},
+		CCs:            []tcpsim.CongestionControl{tcpsim.Reno, tcpsim.Cubic},
+		CrossFractions: crosses,
+		Strategy:       workload.SpawnSimultaneous,
+		Net:            tcpsim.DefaultConfig(),
+	}
 }
 
 func run(args []string, out io.Writer) error {
@@ -299,6 +328,49 @@ func run(args []string, out io.Writer) error {
 		}
 	}))
 
+	// The tentpole warm-open path at paper scale: a 100,000-cell grid,
+	// cold-seeded once and compacted, then warm-opened the way a fresh
+	// process would — binary sidecar load, streaming sequential segment
+	// reads, the fetch pool decoding behind the reader. engine_runs is
+	// gated at 0 by -compare; the absolute wall-clock bound lives in
+	// scripts/bigcheck.sh, where the open runs through the real CLI.
+	bigDir, err := os.MkdirTemp("", "benchjson-biggrid")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(bigDir)
+	big := bigGridAxes()
+	bigSeeder := workload.NewGridCache()
+	bigSeeder.SetDiskDir(bigDir)
+	if _, err := bigSeeder.Get(big, 0); err != nil {
+		return err
+	}
+	if _, err := workload.CompactDiskCache(bigDir); err != nil {
+		return err
+	}
+	workload.ResetSegmentStores()
+	before = workload.EngineRunCount()
+	bigCache := workload.NewGridCache()
+	bigCache.SetDiskDir(bigDir)
+	bigRes, err := bigCache.Get(big, 0)
+	if err != nil {
+		return err
+	}
+	bigMetrics := gridMetrics(bigRes)
+	bigMetrics["engine_runs"] = float64(workload.EngineRunCount() - before)
+	report.Results = append(report.Results, measure("grid_open_100k", bigMetrics, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// Reset drops the resident index: every iteration is a fresh
+			// process's fully warm open.
+			workload.ResetSegmentStores()
+			c := workload.NewGridCache()
+			c.SetDiskDir(bigDir)
+			if _, err := c.Get(big, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
 	// The decided service's headline path: a warm single-cell decision
 	// through the full in-process handler stack (decode + validate +
 	// index refresh + memo hit + decide + encode; no network, so the
@@ -423,9 +495,9 @@ func run(args []string, out io.Writer) error {
 // deterministicMetrics are the simulation outputs compared by -compare:
 // bit-reproducible across machines and worker counts, unlike timings.
 // engine_runs rides along for grid_subgrid_warm, grid_segment_warm,
-// and service_warm_decision, where the tracked value 0 turns the
-// sub-grid reuse, segment warm-open, and resident-service warm-request
-// guarantees into bench-gate invariants.
+// grid_open_100k, and service_warm_decision, where the tracked value 0
+// turns the sub-grid reuse, segment warm-open, and resident-service
+// warm-request guarantees into bench-gate invariants.
 var deterministicMetrics = []string{"sss", "worst_s", "engine_runs"}
 
 // compareReports checks every deterministic metric present in both

@@ -116,15 +116,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	case <-ctx.Done():
 	}
 	// Graceful drain: stop accepting, let in-flight handlers — and the
-	// engine runs they hold — finish, then flush the index sidecar so
-	// the next process starts from a covering sidecar instead of a tail
-	// scan.
+	// engine runs they hold — finish, then close the cache cleanly:
+	// flush the index sidecar (so the next process starts from a
+	// covering sidecar instead of a tail scan) and release the resident
+	// segment store — file handle, in-memory index, registry entry.
 	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shutCtx); err != nil {
 		return fmt.Errorf("draining: %w", err)
 	}
-	workload.FlushDiskCache(dir)
+	workload.CloseDiskCache(dir)
 	if *cacheStats {
 		fmt.Fprintf(out, "cache-stats: %s\n", workload.ReadCacheStats().Since(before))
 	}

@@ -21,13 +21,14 @@
 // Axis flags default to the corresponding single-experiment flag, so
 // `-grid -rtts 8ms,16ms,64ms` sweeps RTT alone. Simulated results are
 // memoized in memory and persisted per cell under -cache-dir (default
-// $CACHE_DIR, else ~/.cache/repro/sweeps) — since repro-cells/v2 in an
-// indexed segment file — so a repeated invocation — or any sub-grid or
+// $CACHE_DIR, else ~/.cache/repro/sweeps) — since repro-cells/v2 in a
+// segment file indexed by a binary sidecar — so a repeated invocation
+// — or any sub-grid or
 // overlapping grid of an earlier invocation — recomputes only cells
 // never seen before; pass `-cache-dir off` to disable persistence.
 // With -cache-stats, the run reports how it was served:
 //
-//	cache-stats: cells=48 memo=0 disk=0 segment=48 engine-runs=0 lock-waits=0
+//	cache-stats: cells=48 memo=0 disk=0 segment=48 engine-runs=0 lock-waits=0 index-load=312µs bytes-read=6144
 //
 // -compact-cache folds loose v1 cell records and dead segment space
 // into a fresh segment file, then exits:

@@ -38,6 +38,7 @@ package workload
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"math"
 	"time"
 )
@@ -172,4 +173,123 @@ func decodeBinRecord(p []byte, fp string, out *SweepRow) bool {
 	}
 	out.Result = nil
 	return true
+}
+
+// ── The binary index sidecar ─────────────────────────────────────────
+//
+// Since v3 the sidecar (`cells.idx`) is a fixed-layout binary file
+// instead of JSON: at 10⁵–10⁶ entries the JSON sidecar cost more to
+// parse than every record decode it located (hundreds of ms of
+// map[string]-building and hex-string allocation per warm open). The
+// binary layout loads in one read + one pass of bounds-checked
+// arithmetic.
+//
+// Layout (all integers little-endian):
+//
+//	[4]  magic "RSX1"
+//	[4]  version tag: CRC-32 (IEEE) of the CellRecordVersion string —
+//	     the same generation guard the JSON sidecar's version field
+//	     carried; a sidecar written by a different record generation
+//	     fails this check and the loader falls back to the full scan
+//	     (migration by rescan — CellRecordVersion itself does NOT bump
+//	     for a sidecar-format change, because the records are unchanged)
+//	[8]  cover point: the segment size (int64) the entries describe;
+//	     records appended past it are recovered by the tail scan
+//	[4]  entry count n (uint32)
+//	[4]  CRC-32 (IEEE) of the n×32-byte entries section
+//	[4]  CRC-32 (IEEE) of the 24 header bytes above
+//	[32]×n entries: [16] fingerprint hash (segKey) +
+//	               [8] record offset (int64) + [8] record length (int64)
+//
+// The file length must be exactly sidecarHeaderSize + 32n — any slack,
+// truncation, CRC mismatch, or unknown magic (including the legacy JSON
+// sidecar, whose first byte is '{') rejects the whole sidecar and the
+// loader degrades to the full sequential scan. The sidecar stays what
+// it always was: an accelerator and a locator, never an authority.
+
+const (
+	// sidecarMagic brands the binary sidecar format.
+	sidecarMagic = "RSX1"
+	// sidecarHeaderSize is magic + version tag + cover point + entry
+	// count + entries CRC + header CRC.
+	sidecarHeaderSize = 4 + 4 + 8 + 4 + 4 + 4
+	// sidecarEntrySize is one packed [fp-hash, offset, length] entry.
+	sidecarEntrySize = 16 + 8 + 8
+)
+
+// sidecarVersionTag derives the 4-byte generation guard from the
+// record-version string.
+func sidecarVersionTag() uint32 {
+	return crc32.ChecksumIEEE([]byte(CellRecordVersion))
+}
+
+// sidecarEntry is one decoded sidecar line: a record's index key and
+// its location in the segment file.
+type sidecarEntry struct {
+	key segKey
+	e   segEntry
+}
+
+// decodeSidecar parses a binary sidecar, reporting false — degrade to
+// full scan, never an error — on any defect: short or oversized file,
+// bad magic (including a legacy JSON sidecar), version tag from another
+// record generation, header or entries CRC mismatch, an entry count
+// that does not exactly match the file length, or a negative cover
+// point. It never panics on arbitrary input (fuzzed by
+// FuzzSidecarDecode).
+func decodeSidecar(data []byte) (cover int64, entries []sidecarEntry, ok bool) {
+	if len(data) < sidecarHeaderSize || string(data[:4]) != sidecarMagic {
+		return 0, nil, false
+	}
+	if binary.LittleEndian.Uint32(data[sidecarHeaderSize-4:]) !=
+		crc32.ChecksumIEEE(data[:sidecarHeaderSize-4]) {
+		return 0, nil, false
+	}
+	if binary.LittleEndian.Uint32(data[4:8]) != sidecarVersionTag() {
+		return 0, nil, false
+	}
+	cover = int64(binary.LittleEndian.Uint64(data[8:16]))
+	if cover < 0 {
+		return 0, nil, false
+	}
+	n := int64(binary.LittleEndian.Uint32(data[16:20]))
+	if int64(len(data)) != sidecarHeaderSize+n*sidecarEntrySize {
+		return 0, nil, false
+	}
+	body := data[sidecarHeaderSize:]
+	if binary.LittleEndian.Uint32(data[20:24]) != crc32.ChecksumIEEE(body) {
+		return 0, nil, false
+	}
+	entries = make([]sidecarEntry, n)
+	for i := range entries {
+		rec := body[i*sidecarEntrySize:]
+		copy(entries[i].key[:], rec[:16])
+		entries[i].e = segEntry{
+			off:    int64(binary.LittleEndian.Uint64(rec[16:24])),
+			length: int64(binary.LittleEndian.Uint64(rec[24:32])),
+		}
+	}
+	return cover, entries, true
+}
+
+// encodeSidecar renders an index as a binary sidecar covering the
+// segment up to cover bytes. The entry order is unspecified (map
+// iteration): the sidecar is a locator set, and decodeSidecar's caller
+// rebuilds a map anyway.
+func encodeSidecar(cover int64, index map[segKey]segEntry) []byte {
+	buf := make([]byte, sidecarHeaderSize+len(index)*sidecarEntrySize)
+	copy(buf, sidecarMagic)
+	binary.LittleEndian.PutUint32(buf[4:8], sidecarVersionTag())
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(cover))
+	binary.LittleEndian.PutUint32(buf[16:20], uint32(len(index)))
+	o := sidecarHeaderSize
+	for key, e := range index {
+		copy(buf[o:], key[:])
+		binary.LittleEndian.PutUint64(buf[o+16:], uint64(e.off))
+		binary.LittleEndian.PutUint64(buf[o+24:], uint64(e.length))
+		o += sidecarEntrySize
+	}
+	binary.LittleEndian.PutUint32(buf[20:24], crc32.ChecksumIEEE(buf[sidecarHeaderSize:]))
+	binary.LittleEndian.PutUint32(buf[sidecarHeaderSize-4:sidecarHeaderSize], crc32.ChecksumIEEE(buf[:sidecarHeaderSize-4]))
+	return buf
 }

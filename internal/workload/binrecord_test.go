@@ -363,3 +363,57 @@ func FuzzSegmentDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzSidecarDecode hands the binary sidecar decoder arbitrary bytes:
+// it must never panic, never accept a buffer whose claimed entry count
+// disagrees with its length, and be canonical on acceptance — any
+// accepted input re-encodes to an equally decodable sidecar carrying
+// the identical cover point and entry set. Seeds cover the empty index,
+// a populated index, a torn header, a flipped CRC bit, an overrunning
+// entry count, and the legacy JSON sidecar format.
+func FuzzSidecarDecode(f *testing.F) {
+	idx := map[segKey]segEntry{
+		bytesSegKey([]byte("cell;fuzz=a")): {off: 0, length: 96},
+		bytesSegKey([]byte("cell;fuzz=b")): {off: 96, length: 128},
+	}
+	valid := encodeSidecar(224, idx)
+	f.Add([]byte{})
+	f.Add(encodeSidecar(0, nil))
+	f.Add(append([]byte{}, valid...))
+	f.Add(append([]byte{}, valid[:sidecarHeaderSize-5]...))
+	flipped := append([]byte{}, valid...)
+	flipped[sidecarHeaderSize-1] ^= 0x08
+	f.Add(flipped)
+	over := append([]byte{}, valid...)
+	binary.LittleEndian.PutUint32(over[16:20], 100)
+	binary.LittleEndian.PutUint32(over[24:28], crc32.ChecksumIEEE(over[:24]))
+	f.Add(over)
+	f.Add([]byte(`{"version":"repro-cells/v2","segment_size":224,"entries":{}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cover, entries, ok := decodeSidecar(data)
+		if !ok {
+			return
+		}
+		if cover < 0 {
+			t.Fatalf("accepted negative cover point %d", cover)
+		}
+		if len(data) != sidecarHeaderSize+len(entries)*sidecarEntrySize {
+			t.Fatalf("accepted %d bytes as %d entries (length/count disagree)", len(data), len(entries))
+		}
+		m := make(map[segKey]segEntry, len(entries))
+		for _, ent := range entries {
+			m[ent.key] = ent.e
+		}
+		re := encodeSidecar(cover, m)
+		cover2, entries2, ok2 := decodeSidecar(re)
+		if !ok2 || cover2 != cover || len(entries2) != len(m) {
+			t.Fatal("re-encode of an accepted sidecar does not round-trip")
+		}
+		for _, ent := range entries2 {
+			if m[ent.key] != ent.e {
+				t.Fatalf("entry %x changed across the round-trip", ent.key)
+			}
+		}
+	})
+}

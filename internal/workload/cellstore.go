@@ -218,7 +218,7 @@ func (s *cellStore) load(fp string, c GridCell, row *SweepRow) cellSource {
 		}
 		// Structurally foreign record under this fingerprint: dead
 		// space; recompute the cell.
-		seg.dropKey(fingerprintKey(fp))
+		seg.dropKey(fingerprintSegKey(fp))
 	}
 	rec = SweepRow{}
 	if diskLoad(dir, looseCellRecordVersion, fp, &rec) {
@@ -229,6 +229,21 @@ func (s *cellStore) load(fp string, c GridCell, row *SweepRow) cellSource {
 		os.Remove(diskPath(dir, fp))
 	}
 	return srcMiss
+}
+
+// loadStream is the dense-open bulk sibling of load: one streaming pass
+// over the segment store for a whole batch of fingerprints (planner.go
+// switches to it when requested cells ≫ fetch pool). hit[i] reports a
+// validated segment record decoded into rowAt(i); misses of any kind
+// are left unset for the caller's per-cell load fallback, so the
+// miss/drop/loose-v1 semantics stay exactly load's. No-op with
+// persistence off.
+func (s *cellStore) loadStream(fps []string, hit []bool, rowAt func(int) *SweepRow, workers int) {
+	dir := s.activeDir()
+	if dir == "" {
+		return
+	}
+	segmentStore(dir).loadStream(fps, hit, rowAt, workers)
 }
 
 // storeRetries / storeRetryDelay shape the transient-fault retry in
@@ -288,6 +303,15 @@ var (
 	// took) — the observable signal that processes are contending on one
 	// cache directory. Incremented by acquireDirLock (fslock.go).
 	lockWaits atomic.Int64
+	// segIndexLoadNS accumulates wall time spent loading resident
+	// segment indexes (sidecar read + decode + tail scans, ensureLoaded)
+	// so a sidecar-load regression is a visible counter, not an inferred
+	// wall-clock delta.
+	segIndexLoadNS atomic.Int64
+	// segBytesRead accumulates segment-store bytes read from disk:
+	// sidecar loads, tail scans, per-record ReadAt calls, and streaming
+	// run reads.
+	segBytesRead atomic.Int64
 )
 
 // CacheStats is a snapshot of the process-wide cache counters: how many
@@ -306,6 +330,13 @@ type CacheStats struct {
 	CellsFromSegment int64
 	EngineRuns       int64
 	LockWaits        int64
+	// IndexLoad is wall time spent loading resident segment indexes
+	// (sidecar read + decode + tail scans). Zero for a process that
+	// never opened a segment — in particular for a fully cold run.
+	IndexLoad time.Duration
+	// BytesRead is segment-store bytes read from disk: sidecar loads,
+	// tail scans, record reads, streaming run reads.
+	BytesRead int64
 }
 
 // ReadCacheStats returns the cumulative counters since process start.
@@ -317,6 +348,8 @@ func ReadCacheStats() CacheStats {
 		CellsFromSegment: cellsFromSegment.Load(),
 		EngineRuns:       engineRuns.Load(),
 		LockWaits:        lockWaits.Load(),
+		IndexLoad:        time.Duration(segIndexLoadNS.Load()),
+		BytesRead:        segBytesRead.Load(),
 	}
 }
 
@@ -334,14 +367,18 @@ func (s CacheStats) Since(prev CacheStats) CacheStats {
 		CellsFromSegment: s.CellsFromSegment - prev.CellsFromSegment,
 		EngineRuns:       s.EngineRuns - prev.EngineRuns,
 		LockWaits:        s.LockWaits - prev.LockWaits,
+		IndexLoad:        s.IndexLoad - prev.IndexLoad,
+		BytesRead:        s.BytesRead - prev.BytesRead,
 	}
 }
 
 // String renders the stats in the stable machine-greppable form the
 // CLIs print for -cache-stats (CI's subgrid-warm, segstore-warm and
 // crash-safety gates match on "engine-runs=0" with the expected hit
-// counters).
+// counters; index-load is the only nondeterministic field, so scripts
+// match it with a pattern, not an exact string).
 func (s CacheStats) String() string {
-	return fmt.Sprintf("cells=%d memo=%d disk=%d segment=%d engine-runs=%d lock-waits=%d",
-		s.CellsRequested, s.CellsFromMemo, s.CellsFromDisk, s.CellsFromSegment, s.EngineRuns, s.LockWaits)
+	return fmt.Sprintf("cells=%d memo=%d disk=%d segment=%d engine-runs=%d lock-waits=%d index-load=%s bytes-read=%d",
+		s.CellsRequested, s.CellsFromMemo, s.CellsFromDisk, s.CellsFromSegment, s.EngineRuns, s.LockWaits,
+		s.IndexLoad, s.BytesRead)
 }

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // seedCellRecords runs the grid cold through a disk-backed cache so its
@@ -357,7 +358,15 @@ func TestCacheStatsCounters(t *testing.T) {
 		d.CellsFromSegment != n || d.EngineRuns != 0 {
 		t.Errorf("segment-warm stats = %v, want cells=%d memo=0 disk=0 segment=%d engine-runs=0", d, n, n)
 	}
-	if got, want := d.String(), "cells=16 memo=0 disk=0 segment=16 engine-runs=0 lock-waits=0"; got != want {
+	if d.BytesRead <= 0 {
+		t.Errorf("segment-warm BytesRead = %d, want > 0 (16 record reads)", d.BytesRead)
+	}
+	// The String rendering is pinned on a fixed value: IndexLoad and
+	// BytesRead are measured quantities, so the live delta's rendering
+	// is not reproducible byte-for-byte.
+	fixed := CacheStats{CellsRequested: 16, CellsFromSegment: 16, IndexLoad: 1500 * time.Microsecond, BytesRead: 4096}
+	want := "cells=16 memo=0 disk=0 segment=16 engine-runs=0 lock-waits=0 index-load=1.5ms bytes-read=4096"
+	if got := fixed.String(); got != want {
 		t.Errorf("String() = %q, want %q", got, want)
 	}
 

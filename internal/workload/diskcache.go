@@ -70,14 +70,38 @@ func ResolveCacheDir(flagValue string) (string, error) {
 	}
 }
 
-// fingerprintKey compresses a fingerprint to its canonical short key —
-// the v1 filename stem and the v2 segment-index key. Fingerprints are
-// long canonical strings; the key is a hash prefix, and the full
-// fingerprint inside each record's envelope guards against prefix
-// collisions.
+// segKey is the fixed-size fingerprint hash the resident segment index
+// and the binary sidecar are keyed by: the first 16 bytes of
+// sha256(fingerprint). A fixed-size array key keeps a 10⁶-entry index
+// at 16 bytes per key (no string headers, no per-lookup hashing of
+// ~250-byte fingerprints). The key is a locator, never an authority:
+// every record embeds its full fingerprint, and decode rejects any
+// record whose embedded fingerprint is not the requested one, so a
+// prefix collision is a miss, not a wrong row.
+type segKey [16]byte
+
+// bytesSegKey hashes raw fingerprint bytes (scan-time keying, where the
+// fingerprint is a slice into the record payload).
+func bytesSegKey(fingerprint []byte) segKey {
+	sum := sha256.Sum256(fingerprint)
+	var k segKey
+	copy(k[:], sum[:])
+	return k
+}
+
+// fingerprintSegKey hashes a fingerprint string to its index key.
+func fingerprintSegKey(fingerprint string) segKey {
+	return bytesSegKey([]byte(fingerprint))
+}
+
+// fingerprintKey compresses a fingerprint to its canonical short key
+// string — the v1 filename stem. It is the hex rendering of the same 16
+// bytes segKey holds, so the loose-file name and the segment-index key
+// of one cell always agree. The full fingerprint inside each record's
+// envelope guards against prefix collisions.
 func fingerprintKey(fingerprint string) string {
-	sum := sha256.Sum256([]byte(fingerprint))
-	return hex.EncodeToString(sum[:16])
+	k := fingerprintSegKey(fingerprint)
+	return hex.EncodeToString(k[:])
 }
 
 // diskPath names the loose (v1) cache file for a fingerprint.

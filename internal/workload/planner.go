@@ -10,19 +10,44 @@ package workload
 // reused at cell granularity.
 //
 // The fetch phase runs on its own bounded worker pool: record loads are
-// I/O (segment ReadAt + JSON decode, or a loose-file read), so on
+// I/O (segment reads + binary decode, or a loose-file read), so on
 // slow or NFS-like filesystems a serial fetch would serialize round
 // trips that overlap for free. Workers write disjoint row slots, and
 // the assembly below walks cells in grid order, so the result — rows,
 // missing-cell order, and every CacheStats counter — is byte-identical
 // to a serial fetch for any worker count.
+//
+// Dense requests (cells ≫ pool) additionally take a streaming first
+// pass: instead of one ReadAt per cell, the segment store reads
+// offset-sorted runs of records through pooled block buffers
+// (segstore.go loadStream) and the pool decodes behind the reader; any
+// cell the stream does not cleanly serve falls back to the per-cell
+// path, so the outcome is bit-identical to a pure per-cell fetch.
 
-import "sync"
+import (
+	"runtime"
+	"sync"
+)
 
-// fetchWorkers bounds the planner's record-load pool. Loads are
-// I/O-bound, so the bound is deliberately above typical GOMAXPROCS but
-// small enough not to stampede a network filesystem.
-const fetchWorkers = 16
+// fetchWorkersMax caps the planner's record-load pool: loads are
+// I/O-bound, so the cap may sit above small-machine GOMAXPROCS values,
+// but must stay small enough not to stampede a network filesystem.
+const fetchWorkersMax = 16
+
+// fetchPoolSize sizes the fetch pool from the machine:
+// min(fetchWorkersMax, GOMAXPROCS). A var so tests pin odd sizes and
+// prove assembly stays byte-identical for any pool.
+var fetchPoolSize = func() int {
+	if n := runtime.GOMAXPROCS(0); n < fetchWorkersMax {
+		return n
+	}
+	return fetchWorkersMax
+}
+
+// denseOpenMinCells is the request size at which planGrid switches from
+// per-cell fetches to the streaming first pass — "requested cells ≫
+// fetch pool". A var so tests force the streaming path on small grids.
+var denseOpenMinCells = 1024
 
 // gridPlan partitions one requested (normalized) grid.
 type gridPlan struct {
@@ -68,17 +93,58 @@ func planGrid(a Axes, store *cellStore) *gridPlan {
 	}
 	p.fps = make([]string, len(cells))
 	srcs := make([]cellSource, len(cells))
+	workers := min(fetchPoolSize(), len(cells))
+
+	if len(cells) >= denseOpenMinCells {
+		// Dense request: fingerprint every cell first (contiguous shards
+		// — cell i's fingerprint lands in fps[i] whatever the split),
+		// then one streaming pass over the segment.
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo, hi := len(cells)*w/workers, len(cells)*(w+1)/workers
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					p.fps[i] = cellFingerprint(a.experiment(cells[i]))
+				}
+			}()
+		}
+		wg.Wait()
+		hit := make([]bool, len(cells))
+		store.loadStream(p.fps, hit, func(i int) *SweepRow { return &p.rows[i].SweepRow }, workers)
+		for i, c := range cells {
+			if hit[i] && acceptRow(p.rows[i].SweepRow, c) {
+				p.rows[i].Cell = c
+				srcs[i] = srcSegment
+			} else if hit[i] {
+				// Structurally foreign record: clear the slot and leave
+				// the cell to the per-cell fallback, whose re-read runs
+				// the exact dropKey + loose-v1 sequence load owns.
+				p.rows[i] = GridRow{}
+			}
+		}
+	}
+
+	// Per-cell fetch: everything in the sparse case; only the cells the
+	// stream did not serve in the dense case.
 	fetch := func(i int) {
+		if srcs[i] == srcSegment {
+			return
+		}
 		c := cells[i]
-		fp := cellFingerprint(a.experiment(c))
-		p.fps[c.Index] = fp
+		fp := p.fps[c.Index]
+		if fp == "" {
+			fp = cellFingerprint(a.experiment(c))
+			p.fps[c.Index] = fp
+		}
 		var row SweepRow
 		if src := store.load(fp, c, &row); src != srcMiss {
 			p.rows[c.Index] = GridRow{Cell: c, SweepRow: row}
 			srcs[i] = src
 		}
 	}
-	if workers := min(fetchWorkers, len(cells)); workers <= 1 {
+	if workers <= 1 {
 		for i := range cells {
 			fetch(i)
 		}
@@ -101,7 +167,8 @@ func planGrid(a Axes, store *cellStore) *gridPlan {
 		wg.Wait()
 	}
 	// Assemble in grid order: the missing list and the counters come out
-	// identical whatever interleaving the pool ran.
+	// identical whatever interleaving the pool (or the streaming pass)
+	// ran.
 	for i, c := range cells {
 		switch srcs[i] {
 		case srcSegment:
@@ -135,9 +202,10 @@ func runGridIncremental(a Axes, workers int, store *cellStore) (*GridResult, err
 // itself (cached cells by source, missing cells as engine runs), not
 // from deltas of the process-wide counters, so it stays correct when
 // many requests run concurrently in one process — the situation a
-// long-lived server is always in. LockWaits is not attributable to one
-// request (lock acquisitions are shared across whatever appends happen
-// to contend) and is reported as 0 here.
+// long-lived server is always in. LockWaits, IndexLoad and BytesRead
+// are not attributable to one request (they are shared across whatever
+// requests happen to contend or trigger the one-time index load) and
+// are reported as 0 here; the process-wide ReadCacheStats carries them.
 func runGridIncrementalStats(a Axes, workers int, store *cellStore) (*GridResult, CacheStats, error) {
 	if err := a.Validate(); err != nil {
 		return nil, CacheStats{}, err

@@ -5,10 +5,13 @@ package workload
 // filesystem-metadata overhead at that scale (10⁵ records means 10⁵
 // opens, stats and inode walks per warm grid). v2 packs every cell
 // record into ONE append-only segment file (`cells.seg`) with an
-// in-memory index — fingerprint key → (offset, length) — loaded once
-// per process from an atomic sidecar (`cells.idx`), so a warm grid is
-// one index load plus bounded-concurrency ReadAt calls instead of a
-// directory walk.
+// in-memory index — fingerprint hash (segKey) → (offset, length) —
+// loaded once per process from an atomic sidecar (`cells.idx`, binary
+// fixed-layout since the sidecar rework: codec in binrecord.go), so a
+// warm grid is one index load plus bounded-concurrency reads instead
+// of a directory walk. Dense warm opens (planner.go) go further:
+// instead of one ReadAt per cell they stream the segment in
+// offset-sorted runs through pooled block buffers (loadStream below).
 //
 // Layout of one segment record:
 //
@@ -37,6 +40,7 @@ package workload
 // mid-swap leaves a scannable segment, not a lying index).
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -82,7 +86,7 @@ type segStore struct {
 	mu     sync.Mutex
 	dir    string
 	loaded bool
-	index  map[string]segEntry // fingerprintKey → record location
+	index  map[segKey]segEntry // fingerprint hash → record location
 	size   int64               // logical append offset
 	dirty  int                 // index changes since the last sidecar write
 	gen    uint64              // bumped whenever the index is rebuilt or handles swap
@@ -161,19 +165,12 @@ func (s *segStore) closeLocked() {
 	s.gen++
 }
 
-// segIndexFile is the sidecar schema. Entries are keyed by the same
-// sha256-prefix key as v1 filenames; the full fingerprint lives inside
-// each record's envelope, which is the collision guard (the sidecar is
-// a locator, never an authority).
-type segIndexFile struct {
-	Version string              `json:"version"`
-	Size    int64               `json:"segment_size"`
-	Entries map[string][2]int64 `json:"entries"`
-}
-
 // ensureLoaded loads the index once: sidecar first (if present, valid
-// and version-matched), then a sequential scan of any segment tail the
-// sidecar does not cover. Caller holds s.mu.
+// and version-tagged for this record generation — binrecord.go's
+// decodeSidecar), then a sequential scan of any segment tail the
+// sidecar does not cover. The whole load is timed into the process-wide
+// IndexLoad counter so sidecar-load regressions show up in
+// -cache-stats instead of hiding inside wall clock. Caller holds s.mu.
 func (s *segStore) ensureLoaded() {
 	if s.loaded {
 		return
@@ -183,11 +180,13 @@ func (s *segStore) ensureLoaded() {
 	// by crashed writers (age-guarded, so a live writer's in-flight
 	// temps survive; compaction removes litter unconditionally).
 	sweepStaleTempFiles(s.dir)
-	s.index = make(map[string]segEntry)
+	s.index = make(map[segKey]segEntry)
 	f, err := os.Open(s.segPath())
 	if err != nil {
 		return // no segment yet: empty store
 	}
+	start := time.Now()
+	defer func() { segIndexLoadNS.Add(int64(time.Since(start))) }()
 	s.rf = f
 	st, err := f.Stat()
 	if err != nil {
@@ -196,20 +195,19 @@ func (s *segStore) ensureLoaded() {
 	fileSize := st.Size()
 	scanFrom := int64(0)
 	if data, err := os.ReadFile(s.idxPath()); err == nil {
-		var idx segIndexFile
-		if json.Unmarshal(data, &idx) == nil && idx.Version == CellRecordVersion &&
-			idx.Size >= 0 && idx.Size <= fileSize {
-			for key, loc := range idx.Entries {
-				e := segEntry{off: loc[0], length: loc[1]}
+		segBytesRead.Add(int64(len(data)))
+		if cover, entries, ok := decodeSidecar(data); ok && cover <= fileSize {
+			for _, ent := range entries {
+				e := ent.e
 				// Prune locations the segment cannot contain (truncated
 				// segment, forged sidecar): they could only miss anyway.
 				if e.off < 0 || e.length < segHeaderSize || e.off+e.length > fileSize {
 					s.dirty++
 					continue
 				}
-				s.index[key] = e
+				s.index[ent.key] = e
 			}
-			scanFrom = idx.Size
+			scanFrom = cover
 		}
 	}
 	if end := s.scanTail(scanFrom, fileSize); end == scanFrom && scanFrom > 0 && scanFrom < fileSize {
@@ -238,11 +236,13 @@ func (s *segStore) ensureLoaded() {
 // compaction. Returns the offset the scan reached.
 func (s *segStore) scanTail(from, fileSize int64) int64 {
 	off := from
+	var read int64
 	header := make([]byte, segHeaderSize)
 	for off+segHeaderSize <= fileSize {
 		if _, err := s.rf.ReadAt(header, off); err != nil {
 			break
 		}
+		read += segHeaderSize
 		if string(header[:4]) != segMagic {
 			break
 		}
@@ -254,6 +254,7 @@ func (s *segStore) scanTail(from, fileSize int64) int64 {
 		if _, err := s.rf.ReadAt(payload, off+segHeaderSize); err != nil {
 			break
 		}
+		read += n
 		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(header[8:12]) {
 			break
 		}
@@ -265,26 +266,27 @@ func (s *segStore) scanTail(from, fileSize int64) int64 {
 		off += segHeaderSize + n
 		s.dirty++
 	}
+	segBytesRead.Add(read)
 	return off
 }
 
 // segPayloadKey returns the index key of one CRC-valid framed payload —
 // v3 binary or v2 legacy JSON — for scan-time indexing, or false for a
 // payload neither format accepts (the scan stops there).
-func segPayloadKey(payload []byte) (string, bool) {
+func segPayloadKey(payload []byte) (segKey, bool) {
 	if isBinPayload(payload) {
-		fp, ok := binRecordFingerprint(payload)
+		fpBytes, ok := binRecordShape(payload)
 		if !ok {
-			return "", false
+			return segKey{}, false
 		}
-		return fingerprintKey(fp), true
+		return bytesSegKey(fpBytes), true
 	}
 	var env diskEnvelope
 	if json.Unmarshal(payload, &env) != nil ||
 		env.Version != legacyCellRecordVersion || env.Fingerprint == "" {
-		return "", false
+		return segKey{}, false
 	}
-	return fingerprintKey(env.Fingerprint), true
+	return fingerprintSegKey(env.Fingerprint), true
 }
 
 // decodeSegPayload decodes one CRC-valid framed payload into out,
@@ -331,13 +333,15 @@ func readRecord(rf *os.File, e segEntry, fp string, out *SweepRow) bool {
 	}
 	buf = buf[:e.length]
 	ok := false
-	if _, err := rf.ReadAt(buf, e.off); err == nil &&
-		string(buf[:4]) == segMagic &&
-		int64(binary.LittleEndian.Uint32(buf[4:8])) == e.length-segHeaderSize &&
-		crc32.ChecksumIEEE(buf[segHeaderSize:]) == binary.LittleEndian.Uint32(buf[8:12]) {
-		// Decode before returning the buffer: the JSON legacy path
-		// aliases it through json.RawMessage until out is populated.
-		ok = decodeSegPayload(buf[segHeaderSize:], fp, out)
+	if _, err := rf.ReadAt(buf, e.off); err == nil {
+		segBytesRead.Add(e.length)
+		if string(buf[:4]) == segMagic &&
+			int64(binary.LittleEndian.Uint32(buf[4:8])) == e.length-segHeaderSize &&
+			crc32.ChecksumIEEE(buf[segHeaderSize:]) == binary.LittleEndian.Uint32(buf[8:12]) {
+			// Decode before returning the buffer: the JSON legacy path
+			// aliases it through json.RawMessage until out is populated.
+			ok = decodeSegPayload(buf[segHeaderSize:], fp, out)
+		}
 	}
 	*bufp = buf[:0]
 	segBufPool.Put(bufp)
@@ -349,7 +353,7 @@ func readRecord(rf *os.File, e segEntry, fp string, out *SweepRow) bool {
 // dropped (the bytes become dead space for the next compaction) so the
 // cell recomputes and re-appends.
 func (s *segStore) load(fp string, out *SweepRow) bool {
-	key := fingerprintKey(fp)
+	key := fingerprintSegKey(fp)
 	s.mu.Lock()
 	s.ensureLoaded()
 	e, ok := s.index[key]
@@ -374,7 +378,7 @@ func (s *segStore) load(fp string, out *SweepRow) bool {
 // relocated one; both guards together make an eviction of the new
 // entry impossible (entries can relocate to identical coordinates, so
 // comparing the entry alone would not be enough).
-func (s *segStore) drop(key string, observed segEntry, gen uint64) {
+func (s *segStore) drop(key segKey, observed segEntry, gen uint64) {
 	s.mu.Lock()
 	if cur, ok := s.index[key]; ok && cur == observed && s.gen == gen {
 		delete(s.index, key)
@@ -387,13 +391,140 @@ func (s *segStore) drop(key string, observed segEntry, gen uint64) {
 // successfully but are structurally foreign to their cell (the bytes
 // themselves are bad wherever they live, so relocation cannot save
 // them).
-func (s *segStore) dropKey(key string) {
+func (s *segStore) dropKey(key segKey) {
 	s.mu.Lock()
 	if _, ok := s.index[key]; ok {
 		delete(s.index, key)
 		s.dirty++
 	}
 	s.mu.Unlock()
+}
+
+// ── Streaming dense reads ────────────────────────────────────────────
+
+const (
+	// segStreamSpan is the target span of one streaming read: requested
+	// records within one span coalesce into a single ReadAt through a
+	// pooled block buffer.
+	segStreamSpan = 1 << 20
+	// segStreamGap is the largest dead-space hole a streaming run reads
+	// through rather than splitting into a separate syscall (unrequested
+	// records, corruption litter awaiting compaction).
+	segStreamGap = 64 << 10
+)
+
+// segStreamBufPool recycles the block buffers behind streaming reads —
+// a 10⁵-cell open otherwise allocates tens of MB of transient spans.
+var segStreamBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, segStreamSpan)
+		return &b
+	},
+}
+
+// loadStream serves a dense batch of cells in bulk: instead of one
+// ReadAt per cell it sorts the requested records by segment offset,
+// groups them into sequential runs (≤segStreamSpan wide, reading
+// through holes ≤segStreamGap), reads each run with a single ReadAt
+// into a pooled block buffer, and decodes the records out of the block
+// on a worker pool running behind the reads. hit[i] is set only when
+// fps[i]'s record validated (frame magic, length, CRC) and decoded into
+// rowAt(i); everything else — no index entry, defective bytes, a read
+// racing a compaction — is left for the caller's per-cell fallback,
+// which preserves the exact per-cell miss/drop semantics of load. Rows
+// for distinct indices are written concurrently; rowAt must map
+// distinct i to non-overlapping rows.
+func (s *segStore) loadStream(fps []string, hit []bool, rowAt func(int) *SweepRow, workers int) {
+	type streamReq struct {
+		i int
+		e segEntry
+	}
+	s.mu.Lock()
+	s.ensureLoaded()
+	rf := s.rf
+	reqs := make([]streamReq, 0, len(fps))
+	for i, fp := range fps {
+		if e, ok := s.index[fingerprintSegKey(fp)]; ok &&
+			e.off >= 0 && e.length >= segHeaderSize && e.length <= segHeaderSize+segMaxRecord {
+			reqs = append(reqs, streamReq{i: i, e: e})
+		}
+	}
+	s.mu.Unlock()
+	if rf == nil || len(reqs) == 0 {
+		return
+	}
+	sort.Slice(reqs, func(a, b int) bool { return reqs[a].e.off < reqs[b].e.off })
+	// Group the offset-sorted requests into runs. A run always holds its
+	// first record whole (records larger than segStreamSpan become
+	// single-record runs); overlapping entries — only a forged sidecar
+	// produces them — split runs rather than corrupting span arithmetic.
+	type streamRun struct {
+		lo, hi     int // reqs[lo:hi]
+		start, end int64
+	}
+	runs := make([]streamRun, 0, len(reqs)/8+1)
+	cur := streamRun{lo: 0, hi: 1, start: reqs[0].e.off, end: reqs[0].e.off + reqs[0].e.length}
+	for k := 1; k < len(reqs); k++ {
+		e := reqs[k].e
+		if e.off >= cur.end && e.off-cur.end <= segStreamGap && e.off+e.length-cur.start <= segStreamSpan {
+			cur.hi, cur.end = k+1, e.off+e.length
+			continue
+		}
+		runs = append(runs, cur)
+		cur = streamRun{lo: k, hi: k + 1, start: e.off, end: e.off + e.length}
+	}
+	runs = append(runs, cur)
+
+	serve := func(r streamRun) {
+		n := r.end - r.start
+		bufp := segStreamBufPool.Get().(*[]byte)
+		buf := *bufp
+		if int64(cap(buf)) < n {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := rf.ReadAt(buf, r.start); err == nil {
+			segBytesRead.Add(n)
+			for _, q := range reqs[r.lo:r.hi] {
+				b := buf[q.e.off-r.start : q.e.off-r.start+q.e.length]
+				if string(b[:4]) == segMagic &&
+					int64(binary.LittleEndian.Uint32(b[4:8])) == q.e.length-segHeaderSize &&
+					crc32.ChecksumIEEE(b[segHeaderSize:]) == binary.LittleEndian.Uint32(b[8:12]) &&
+					// Decode before the buffer recycles: the JSON legacy
+					// path aliases it until the row is populated.
+					decodeSegPayload(b[segHeaderSize:], fps[q.i], rowAt(q.i)) {
+					hit[q.i] = true
+				}
+			}
+		}
+		*bufp = buf[:0]
+		segStreamBufPool.Put(bufp)
+	}
+	if workers > len(runs) {
+		workers = len(runs)
+	}
+	if workers <= 1 {
+		for _, r := range runs {
+			serve(r)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	work := make(chan streamRun)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range work {
+				serve(r)
+			}
+		}()
+	}
+	for _, r := range runs {
+		work <- r
+	}
+	close(work)
+	wg.Wait()
 }
 
 // encodeSegRecord frames one cell record for the segment file: RSG2
@@ -431,7 +562,7 @@ func (s *segStore) resyncLocked() {
 		// Foreign purge: the segment our handles point at is gone.
 		s.closeLocked()
 		s.loaded = true
-		s.index = make(map[string]segEntry)
+		s.index = make(map[segKey]segEntry)
 		return
 	}
 	var cur os.FileInfo
@@ -491,7 +622,7 @@ func (s *segStore) refresh() {
 		// the sibling deliberately destroyed.
 		s.closeLocked()
 		s.loaded = true
-		s.index = make(map[string]segEntry)
+		s.index = make(map[segKey]segEntry)
 		return
 	}
 	var cur os.FileInfo
@@ -543,6 +674,22 @@ func FlushDiskCache(dir string) {
 	segmentStore(dir).flushIndex()
 }
 
+// CloseDiskCache flushes dir's segment index sidecar (FlushDiskCache)
+// and then releases the directory's resident store entirely: file
+// handles closed, in-memory index freed, registry entry removed. This
+// is the clean-shutdown hook for long-lived processes (cmd/decided) —
+// without it a server that touched many cache directories over its
+// lifetime keeps every index resident forever. A later access to the
+// same directory in the same process simply reloads from disk. dir ""
+// is a no-op.
+func CloseDiskCache(dir string) {
+	if dir == "" {
+		return
+	}
+	segmentStore(dir).flushIndex()
+	resetSegmentStore(dir)
+}
+
 // append writes one record to the segment and indexes it in memory,
 // holding the directory's cross-process writer lock around the
 // stat+write so concurrent processes' appends serialize and every index
@@ -590,7 +737,7 @@ func (s *segStore) append(fp string, row SweepRow) error {
 		// misses until the next process.
 		s.rf, _ = os.Open(s.segPath())
 	}
-	s.index[fingerprintKey(fp)] = segEntry{off: off, length: int64(len(buf))}
+	s.index[fingerprintSegKey(fp)] = segEntry{off: off, length: int64(len(buf))}
 	s.size = off + int64(len(buf))
 	s.dirty++
 	return nil
@@ -625,21 +772,10 @@ func (s *segStore) flushIndex() {
 	}
 }
 
-// writeSidecar writes the current index as the sidecar (temp + rename).
-// Caller holds s.mu.
+// writeSidecar writes the current index as the binary sidecar (temp +
+// rename). Caller holds s.mu.
 func (s *segStore) writeSidecar() error {
-	idx := segIndexFile{
-		Version: CellRecordVersion,
-		Size:    s.size,
-		Entries: make(map[string][2]int64, len(s.index)),
-	}
-	for key, e := range s.index {
-		idx.Entries[key] = [2]int64{e.off, e.length}
-	}
-	data, err := json.Marshal(idx)
-	if err != nil {
-		return err
-	}
+	data := encodeSidecar(s.size, s.index)
 	if err := os.MkdirAll(s.dir, 0o755); err != nil {
 		return err
 	}
@@ -763,9 +899,9 @@ func (s *segStore) compact() (CompactStats, error) {
 	if err != nil {
 		return st, fmt.Errorf("workload: compacting cache: %w", err)
 	}
-	newIndex := make(map[string]segEntry, len(s.index))
+	newIndex := make(map[segKey]segEntry, len(s.index))
 	var off int64
-	writeRec := func(key string, buf []byte) error {
+	writeRec := func(key segKey, buf []byte) error {
 		if _, err := fsfault.Write("segstore.compact.write", tmp, buf); err != nil {
 			tmp.Close()
 			os.Remove(tmp.Name())
@@ -781,11 +917,14 @@ func (s *segStore) compact() (CompactStats, error) {
 	// binary records copy verbatim; v2 JSON records decode and re-encode
 	// as v3 — the fold half of migration-by-miss, one record in memory
 	// at a time. Either way a defective record is skipped (dead space).
-	keys := make([]string, 0, len(s.index))
+	keys := make([]segKey, 0, len(s.index))
 	for key := range s.index {
 		keys = append(keys, key)
 	}
-	sort.Strings(keys)
+	// Byte order of the hash keys == lexical order of their old hex
+	// renderings, so compacted segments keep the exact record order the
+	// string-keyed store produced.
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i][:], keys[j][:]) < 0 })
 	for _, key := range keys {
 		e := s.index[key]
 		if s.rf == nil || e.length < segHeaderSize || e.length > segHeaderSize+segMaxRecord {
@@ -857,7 +996,7 @@ func (s *segStore) compact() (CompactStats, error) {
 			json.Unmarshal(env.Payload, &row) != nil {
 			continue // not a cell record (or corrupt): leave it alone
 		}
-		key := fingerprintKey(env.Fingerprint)
+		key := fingerprintSegKey(env.Fingerprint)
 		if _, dup := newIndex[key]; !dup {
 			buf, err := encodeSegRecord(env.Fingerprint, row)
 			if err != nil {

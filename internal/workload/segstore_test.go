@@ -2,7 +2,9 @@ package workload
 
 import (
 	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -18,12 +20,12 @@ func idxPathOf(dir string) string { return filepath.Join(dir, segmentIndexName) 
 
 // segEntryOf returns the segment location of one cell's record, read
 // through the live store (same package, so tests may look).
-func segEntryOf(t *testing.T, dir string, a Axes, cellIdx int) (key string, e segEntry) {
+func segEntryOf(t *testing.T, dir string, a Axes, cellIdx int) (key segKey, e segEntry) {
 	t.Helper()
 	na := a.normalized()
 	cells := na.Cells()
 	fp := cellFingerprint(na.experiment(cells[cellIdx]))
-	key = fingerprintKey(fp)
+	key = fingerprintSegKey(fp)
 	s := segmentStore(dir)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -33,6 +35,35 @@ func segEntryOf(t *testing.T, dir string, a Axes, cellIdx int) (key string, e se
 		t.Fatalf("cell %d not in segment index", cellIdx)
 	}
 	return key, e
+}
+
+// readSidecarFile decodes dir's binary sidecar into a cover point and
+// an entry map, failing the test on any decode defect.
+func readSidecarFile(t *testing.T, dir string) (int64, map[segKey]segEntry) {
+	t.Helper()
+	data, err := os.ReadFile(idxPathOf(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cover, entries, ok := decodeSidecar(data)
+	if !ok {
+		t.Fatal("sidecar does not decode")
+	}
+	m := make(map[segKey]segEntry, len(entries))
+	for _, ent := range entries {
+		m[ent.key] = ent.e
+	}
+	return cover, m
+}
+
+// writeSidecarFile renders a (possibly doctored) index as dir's
+// sidecar, CRCs recomputed — the file is structurally valid, only its
+// claims are wrong.
+func writeSidecarFile(t *testing.T, dir string, cover int64, entries map[segKey]segEntry) {
+	t.Helper()
+	if err := os.WriteFile(idxPathOf(dir), encodeSidecar(cover, entries), 0o644); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // TestSegmentWarmGrid is the v2 persistence contract: a cold cached run
@@ -83,32 +114,17 @@ func TestSegmentIndexSidecarGrows(t *testing.T) {
 	first.Buffers = first.Buffers[:1] // 8 cells
 	seedCellRecords(t, dir, first)
 
-	readIdx := func() segIndexFile {
-		t.Helper()
-		data, err := os.ReadFile(idxPathOf(dir))
-		if err != nil {
-			t.Fatal(err)
-		}
-		var idx segIndexFile
-		if err := json.Unmarshal(data, &idx); err != nil {
-			t.Fatal(err)
-		}
-		if idx.Version != CellRecordVersion {
-			t.Fatalf("sidecar version %q, want %q", idx.Version, CellRecordVersion)
-		}
-		return idx
-	}
-	if idx := readIdx(); len(idx.Entries) != first.Size() {
-		t.Fatalf("sidecar holds %d entries after first run, want %d", len(idx.Entries), first.Size())
+	if _, entries := readSidecarFile(t, dir); len(entries) != first.Size() {
+		t.Fatalf("sidecar holds %d entries after first run, want %d", len(entries), first.Size())
 	}
 
 	seedCellRecords(t, dir, fastAxes()) // 16 cells, 8 shared
-	idx := readIdx()
-	if len(idx.Entries) != fastAxes().Size() {
-		t.Fatalf("sidecar holds %d entries after second run, want %d", len(idx.Entries), fastAxes().Size())
+	cover, entries := readSidecarFile(t, dir)
+	if len(entries) != fastAxes().Size() {
+		t.Fatalf("sidecar holds %d entries after second run, want %d", len(entries), fastAxes().Size())
 	}
-	if fi, err := os.Stat(segPathOf(dir)); err != nil || idx.Size != fi.Size() {
-		t.Fatalf("sidecar covers %d bytes, segment is %v bytes (err %v)", idx.Size, fi, err)
+	if fi, err := os.Stat(segPathOf(dir)); err != nil || cover != fi.Size() {
+		t.Fatalf("sidecar covers %d bytes, segment is %v bytes (err %v)", cover, fi, err)
 	}
 }
 
@@ -322,27 +338,14 @@ var segCorruptionCases = map[string]func(t *testing.T, dir string, a Axes) int{
 	"index/segment mismatch": func(t *testing.T, dir string, a Axes) int {
 		key, _ := segEntryOf(t, dir, a, 5)
 		ResetSegmentStores()
-		data, err := os.ReadFile(idxPathOf(dir))
-		if err != nil {
-			t.Fatal(err)
-		}
-		var idx segIndexFile
-		if err := json.Unmarshal(data, &idx); err != nil {
-			t.Fatal(err)
-		}
-		loc, ok := idx.Entries[key]
+		cover, entries := readSidecarFile(t, dir)
+		e, ok := entries[key]
 		if !ok {
 			t.Fatal("key missing from sidecar")
 		}
-		loc[0] += 7
-		idx.Entries[key] = loc
-		out, err := json.Marshal(idx)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(idxPathOf(dir), out, 0o644); err != nil {
-			t.Fatal(err)
-		}
+		e.off += 7
+		entries[key] = e
+		writeSidecarFile(t, dir, cover, entries)
 		return 1
 	},
 	// A record whose length field lies (larger than the payload the
@@ -368,22 +371,8 @@ var segCorruptionCases = map[string]func(t *testing.T, dir string, a Axes) int{
 	// full scan and recover every record; it must NOT truncate or
 	// otherwise damage the segment (zero damaged cells).
 	"stale sidecar cover point": func(t *testing.T, dir string, a Axes) int {
-		data, err := os.ReadFile(idxPathOf(dir))
-		if err != nil {
-			t.Fatal(err)
-		}
-		var idx segIndexFile
-		if err := json.Unmarshal(data, &idx); err != nil {
-			t.Fatal(err)
-		}
-		idx.Size -= 10 // mid-record: not a frame boundary
-		out, err := json.Marshal(idx)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(idxPathOf(dir), out, 0o644); err != nil {
-			t.Fatal(err)
-		}
+		cover, entries := readSidecarFile(t, dir)
+		writeSidecarFile(t, dir, cover-10, entries) // mid-record: not a frame boundary
 		segBefore, err := os.Stat(segPathOf(dir))
 		if err != nil {
 			t.Fatal(err)
@@ -402,18 +391,11 @@ var segCorruptionCases = map[string]func(t *testing.T, dir string, a Axes) int{
 	// sidecar gone too. The frame length says bytes the file no longer
 	// has, so the scan stops there; only the torn cell recomputes.
 	"truncated tail mid-row-field": func(t *testing.T, dir string, a Axes) int {
-		data, err := os.ReadFile(idxPathOf(dir))
-		if err != nil {
-			t.Fatal(err)
-		}
-		var idx segIndexFile
-		if err := json.Unmarshal(data, &idx); err != nil {
-			t.Fatal(err)
-		}
+		_, entries := readSidecarFile(t, dir)
 		var off, length int64 = -1, 0
-		for _, loc := range idx.Entries {
-			if loc[0] > off {
-				off, length = loc[0], loc[1]
+		for _, e := range entries {
+			if e.off > off {
+				off, length = e.off, e.length
 			}
 		}
 		if err := os.Remove(idxPathOf(dir)); err != nil {
@@ -495,12 +477,34 @@ var segCorruptionCases = map[string]func(t *testing.T, dir string, a Axes) int{
 	},
 }
 
+// forceDensePlans routes every grid through the planner's streaming
+// dense path for the duration of the test, however small the grid.
+func forceDensePlans(t *testing.T) {
+	t.Helper()
+	orig := denseOpenMinCells
+	denseOpenMinCells = 1
+	t.Cleanup(func() { denseOpenMinCells = orig })
+}
+
 // TestSegmentCorruptionRecovery: every class of segment damage is a
 // miss for the damaged cells ONLY — recovery recomputes exactly those,
 // assembles byte-identical to the cold reference, repairs the store
 // (follow-up warm open: zero runs), and a subsequent compaction leaves
 // a clean directory.
 func TestSegmentCorruptionRecovery(t *testing.T) {
+	runSegCorruptionRecovery(t)
+}
+
+// TestSegmentCorruptionRecoveryDense re-runs the whole corruption table
+// through the planner's streaming dense path: a record the stream
+// rejects must fall back to the per-cell load and end in exactly the
+// same recompute set and bytes as the sparse path.
+func TestSegmentCorruptionRecoveryDense(t *testing.T) {
+	forceDensePlans(t)
+	runSegCorruptionRecovery(t)
+}
+
+func runSegCorruptionRecovery(t *testing.T) {
 	a := fastAxes()
 	cold, err := RunGrid(a)
 	if err != nil {
@@ -610,8 +614,18 @@ func TestSegmentWarmLargeGrid(t *testing.T) {
 	}
 }
 
+// legacyJSONSidecar is the v2-era sidecar schema, frozen here so tests
+// can fabricate the exact bytes old processes left on disk (the store
+// itself no longer knows the JSON format: any sidecar that fails the
+// binary magic degrades to a full scan).
+type legacyJSONSidecar struct {
+	Version string              `json:"version"`
+	Size    int64               `json:"segment_size"`
+	Entries map[string][2]int64 `json:"entries"`
+}
+
 // seedV2SegmentRecords fabricates a pre-v3 store byte-for-byte: every
-// cell framed as a v2 JSON-envelope segment record plus a v2-stamped
+// cell framed as a v2 JSON-envelope segment record plus a v2-era JSON
 // sidecar — exactly what a v2-era process left on disk. Returns the
 // cold reference rows.
 func seedV2SegmentRecords(t *testing.T, dir string, a Axes) []GridRow {
@@ -622,7 +636,7 @@ func seedV2SegmentRecords(t *testing.T, dir string, a Axes) []GridRow {
 	}
 	na := a.normalized()
 	var seg []byte
-	idx := segIndexFile{Version: legacyCellRecordVersion, Entries: map[string][2]int64{}}
+	idx := legacyJSONSidecar{Version: legacyCellRecordVersion, Entries: map[string][2]int64{}}
 	for i, c := range na.Cells() {
 		fp := cellFingerprint(na.experiment(c))
 		rec := encodeLegacySegRecord(t, fp, cold.Rows[i].SweepRow)
@@ -645,8 +659,9 @@ func seedV2SegmentRecords(t *testing.T, dir string, a Axes) []GridRow {
 
 // TestV2SegmentMigration is the v2→v3 half of migration-by-miss,
 // mirroring TestLegacyMigrationByMiss one container generation up: a
-// segment full of v2 JSON records (with its v2-stamped sidecar, which
-// version-mismatches and forces the full scan) serves a grid with zero
+// segment full of v2 JSON records (with its v2-era JSON sidecar, which
+// fails the binary sidecar magic and forces the full scan) serves a
+// grid with zero
 // engine runs and every cell attributed to the segment; compaction then
 // folds every record to v3 binary in place, after which the store is
 // still fully warm and bit-identical.
@@ -716,4 +731,247 @@ func TestV2SegmentMigration(t *testing.T) {
 	if gridRowsJSON(t, g2.Rows) != gridRowsJSON(t, rows) {
 		t.Fatal("rows differ after folding v2 records to v3")
 	}
+}
+
+// sidecarCorruptionCases damages ONLY the sidecar — the segment stays
+// intact, so every case must degrade to a full tail scan: zero engine
+// runs, zero wrong rows. Each mutator receives the valid sidecar bytes
+// and returns the defective replacement.
+var sidecarCorruptionCases = map[string]func(t *testing.T, data []byte) []byte{
+	// A sidecar torn inside its fixed header (crash mid-write without
+	// the atomic rename, or a short copy).
+	"truncated header": func(t *testing.T, data []byte) []byte {
+		return data[:sidecarHeaderSize-5]
+	},
+	// One flipped bit in the header CRC word: structurally complete,
+	// cryptographically wrong.
+	"flipped header crc bit": func(t *testing.T, data []byte) []byte {
+		out := append([]byte{}, data...)
+		out[sidecarHeaderSize-1] ^= 0x08
+		return out
+	},
+	// One flipped bit inside an entry body: the entries CRC catches it.
+	"flipped entry bit": func(t *testing.T, data []byte) []byte {
+		out := append([]byte{}, data...)
+		out[sidecarHeaderSize+7] ^= 0x80
+		return out
+	},
+	// An entry count claiming more entries than the file holds, header
+	// CRC dutifully recomputed — the exact-length check must reject it
+	// before any entry parse walks off the buffer.
+	"entry count overruns file": func(t *testing.T, data []byte) []byte {
+		out := append([]byte{}, data...)
+		n := binary.LittleEndian.Uint32(out[16:20])
+		binary.LittleEndian.PutUint32(out[16:20], n+100)
+		binary.LittleEndian.PutUint32(out[24:28], crc32.ChecksumIEEE(out[:24]))
+		return out
+	},
+	// A cover point past every valid frame boundary (stale sidecar from
+	// a since-rewritten segment), CRCs valid.
+	"stale cover point": func(t *testing.T, data []byte) []byte {
+		cover, entries, ok := decodeSidecar(data)
+		if !ok {
+			t.Fatal("seed sidecar does not decode")
+		}
+		m := make(map[segKey]segEntry, len(entries))
+		for _, ent := range entries {
+			m[ent.key] = ent.e
+		}
+		return encodeSidecar(cover-10, m)
+	},
+	// The v2-era JSON sidecar an old process left behind: fails the
+	// binary magic, never parsed.
+	"legacy JSON sidecar": func(t *testing.T, data []byte) []byte {
+		cover, entries, ok := decodeSidecar(data)
+		if !ok {
+			t.Fatal("seed sidecar does not decode")
+		}
+		idx := legacyJSONSidecar{Version: legacyCellRecordVersion, Size: cover, Entries: map[string][2]int64{}}
+		for _, ent := range entries {
+			idx.Entries[hex.EncodeToString(ent.key[:])] = [2]int64{ent.e.off, ent.e.length}
+		}
+		out, err := json.Marshal(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	},
+	// Zero-length sidecar (open crashed before the first byte).
+	"empty file": func(t *testing.T, data []byte) []byte {
+		return nil
+	},
+}
+
+// TestSidecarCorruptionTable: every sidecar defect degrades to the full
+// tail scan — zero engine runs (the segment is the data), rows
+// byte-identical to the cold reference — and the scan leaves a repaired
+// binary sidecar behind. Runs the table through both the per-cell and
+// the streaming dense fetch paths.
+func TestSidecarCorruptionTable(t *testing.T) {
+	a := fastAxes()
+	cold, err := RunGrid(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := gridRowsJSON(t, cold.Rows)
+
+	for _, mode := range []string{"per-cell", "dense"} {
+		t.Run(mode, func(t *testing.T) {
+			if mode == "dense" {
+				forceDensePlans(t)
+			}
+			for name, corrupt := range sidecarCorruptionCases {
+				t.Run(name, func(t *testing.T) {
+					dir := t.TempDir()
+					seedCellRecords(t, dir, a)
+					ResetSegmentStores()
+					data, err := os.ReadFile(idxPathOf(dir))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(idxPathOf(dir), corrupt(t, data), 0o644); err != nil {
+						t.Fatal(err)
+					}
+
+					c := NewGridCache()
+					c.SetDiskDir(dir)
+					base := ReadCacheStats()
+					g, err := c.Get(a, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					d := ReadCacheStats().Since(base)
+					if d.EngineRuns != 0 {
+						t.Errorf("sidecar defect cost %d engine runs, want 0 (full scan recovers the segment)", d.EngineRuns)
+					}
+					if d.CellsFromSegment != int64(a.Size()) {
+						t.Errorf("served %d cells from segment, want %d", d.CellsFromSegment, a.Size())
+					}
+					if gridRowsJSON(t, g.Rows) != want {
+						t.Error("rows after sidecar defect differ from cold reference")
+					}
+
+					// The scan repairs the sidecar: the file decodes again
+					// and covers the whole segment.
+					CloseDiskCache(dir)
+					cover, entries := readSidecarFile(t, dir)
+					if len(entries) != a.Size() {
+						t.Errorf("repaired sidecar holds %d entries, want %d", len(entries), a.Size())
+					}
+					if fi, err := os.Stat(segPathOf(dir)); err != nil || cover != fi.Size() {
+						t.Errorf("repaired sidecar covers %d, segment is %v (err %v)", cover, fi, err)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestFetchPoolDeterminism: the planner's warm-open result — rows,
+// stats, everything — is byte-identical for ANY fetch pool size,
+// including odd sizes that split the grid unevenly, and for the
+// streaming dense path versus the per-cell path.
+func TestFetchPoolDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	a := fastAxes()
+	rows := seedCellRecords(t, dir, a)
+	want := gridRowsJSON(t, rows)
+
+	origPool := fetchPoolSize
+	origDense := denseOpenMinCells
+	t.Cleanup(func() {
+		fetchPoolSize = origPool
+		denseOpenMinCells = origDense
+	})
+
+	for _, dense := range []bool{false, true} {
+		for _, n := range []int{1, 2, 3, 5, 7, 16, 31} {
+			fetchPoolSize = func() int { return n }
+			if dense {
+				denseOpenMinCells = 1
+			} else {
+				denseOpenMinCells = 1 << 30
+			}
+			ResetSegmentStores()
+			warm := NewGridCache()
+			warm.SetDiskDir(dir)
+			base := ReadCacheStats()
+			g, err := warm.Get(a, 0)
+			if err != nil {
+				t.Fatalf("dense=%v workers=%d: %v", dense, n, err)
+			}
+			d := ReadCacheStats().Since(base)
+			if d.EngineRuns != 0 || d.CellsFromSegment != int64(a.Size()) {
+				t.Errorf("dense=%v workers=%d: stats = %v, want all %d cells from segment", dense, n, d, a.Size())
+			}
+			if gridRowsJSON(t, g.Rows) != want {
+				t.Errorf("dense=%v workers=%d: rows not byte-identical", dense, n)
+			}
+		}
+	}
+}
+
+// TestCloseDiskCacheReleasesStore: CloseDiskCache flushes a dirty
+// sidecar, evicts the directory's resident store from the process-wide
+// registry, and a later access to the same directory reloads cleanly
+// from disk.
+func TestCloseDiskCacheReleasesStore(t *testing.T) {
+	dir := t.TempDir()
+	a := fastAxes()
+	rows := seedCellRecords(t, dir, a)
+
+	// Dirty the resident index without flushing: drop the sidecar, then
+	// force the full scan to rebuild the in-memory index.
+	ResetSegmentStores()
+	if err := os.Remove(idxPathOf(dir)); err != nil {
+		t.Fatal(err)
+	}
+	na := a.normalized()
+	fp := cellFingerprint(na.experiment(na.Cells()[0]))
+	var row SweepRow
+	if !segmentStore(dir).load(fp, &row) {
+		t.Fatal("seeded cell not loadable")
+	}
+
+	segRegistryMu.Lock()
+	_, resident := segRegistry[dir]
+	segRegistryMu.Unlock()
+	if !resident {
+		t.Fatal("store not resident after load")
+	}
+
+	CloseDiskCache(dir)
+
+	segRegistryMu.Lock()
+	_, resident = segRegistry[dir]
+	segRegistryMu.Unlock()
+	if resident {
+		t.Error("store still resident after CloseDiskCache")
+	}
+	// The dirty index was flushed on the way out.
+	cover, entries := readSidecarFile(t, dir)
+	if len(entries) != a.Size() {
+		t.Errorf("flushed sidecar holds %d entries, want %d", len(entries), a.Size())
+	}
+	if fi, err := os.Stat(segPathOf(dir)); err != nil || cover != fi.Size() {
+		t.Errorf("flushed sidecar covers %d, segment is %v (err %v)", cover, fi, err)
+	}
+
+	// A later access reloads from disk as if the process had restarted.
+	warm := NewGridCache()
+	warm.SetDiskDir(dir)
+	base := ReadCacheStats()
+	g, err := warm.Get(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ReadCacheStats().Since(base)
+	if d.EngineRuns != 0 || d.CellsFromSegment != int64(a.Size()) {
+		t.Fatalf("post-close warm open stats = %v, want all %d cells from segment", d, a.Size())
+	}
+	if gridRowsJSON(t, g.Rows) != gridRowsJSON(t, rows) {
+		t.Fatal("rows differ after close/reopen")
+	}
+
+	CloseDiskCache("") // the empty dir is a documented no-op
 }

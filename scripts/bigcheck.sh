@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# bigcheck.sh — the CI 100,000-cell warm-open gate: run a 100,000-cell
+# scenario grid cold through the real ssslab CLI, compact the cache
+# into the indexed segment file (ssslab -compact-cache), then re-run
+# the same grid warm in a fresh process and fail unless (a)
+# -cache-stats reports zero engine runs with every cell served from
+# the segment, (b) the warm report is byte-identical to the cold one,
+# and (c) the whole warm invocation — process start, binary sidecar
+# load, streaming segment reads, parallel decode, report rendering —
+# finishes inside the wall-clock bound. The bound is deliberately far
+# below what recomputing (or per-cell re-reading) the grid could ever
+# meet, so a regression of the sidecar or the streaming open fails the
+# gate even though the stats line still says engine-runs=0.
+#
+# This is the tentpole guarantee of the binary-sidecar work
+# (PERFORMANCE.md "Warm opens at the 10⁵-cell scale"): benchjson's
+# grid_open_100k tracks the same path in-process; this script asserts
+# it end to end across real CLI invocations.
+#
+# Cache-stats lines (and the compaction summary) are appended to
+# $OUT_LOG so CI can upload them as an artifact when the gate fails.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# The whole warm invocation must finish inside this bound (ms).
+# Override with WARM_BOUND_MS for slow machines.
+WARM_BOUND_MS="${WARM_BOUND_MS:-60000}"
+
+# Hermetic cell store: the cold run below must be the only possible
+# source of warm cells. The grid reports land inside it, and the trap
+# cleans it on every exit path. A self-created OUT_LOG (no $OUT_LOG
+# from the environment — CI sets one and uploads it as an artifact on
+# failure) is removed on success but KEPT on failure.
+CACHE_DIR=$(mktemp -d /tmp/repro-bigcheck-cache.XXXXXX)
+export CACHE_DIR
+WORK=$(mktemp -d /tmp/repro-bigcheck-work.XXXXXX)
+own_log=""
+if [ -z "${OUT_LOG:-}" ]; then
+    OUT_LOG=$(mktemp /tmp/repro-bigcheck-out.XXXXXX)
+    own_log=$OUT_LOG
+fi
+cold_report="$CACHE_DIR/report-cold.txt"
+warm_report="$CACHE_DIR/report-warm.txt"
+cleanup() {
+    status=$?
+    rm -rf "$CACHE_DIR" "$WORK"
+    if [ -n "$own_log" ]; then
+        if [ "$status" -eq 0 ]; then
+            rm -f "$own_log"
+        else
+            echo "bigcheck: cache-stats log kept at $own_log" >&2
+        fi
+    fi
+}
+trap cleanup EXIT
+
+fail() {
+    echo "bigcheck: $1" >&2
+    echo "  want: $2" >&2
+    echo "  got:  $3" >&2
+    exit 1
+}
+
+# A prebuilt binary: `go run` compile time must not pollute the warm
+# wall-clock measurement.
+go build -o "$WORK/ssslab" ./cmd/ssslab
+
+# 2 conc × 2 P × 2 sizes × 125 RTTs × 5 buffers × 2 CCs × 10 crosses
+# = 100,000 cells — the cheapest representable cells (1 s, small
+# transfers), so the gate measures the open path, not the simulator.
+RTTS=$(seq 1 125 | sed 's/$/ms/' | paste -sd, -)
+grid() {
+    "$WORK/ssslab" -grid -seconds 1 \
+        -concs 1,2 -pflows 1,2 -sizes 0.1GB,0.2GB \
+        -rtts "$RTTS" -buffers auto,512KB,1MB,2MB,4MB \
+        -ccs reno,cubic \
+        -crosses 0,0.05,0.1,0.15,0.2,0.25,0.3,0.35,0.4,0.45 \
+        -cache-stats
+}
+
+now_ms() { date +%s%3N; }
+
+echo "== cold 100,000-cell grid =="
+grid > "$cold_report"
+cold=$(tail -n 1 "$cold_report")
+echo "cold: $cold" | tee -a "$OUT_LOG"
+want_cold="cache-stats: cells=100000 memo=0 disk=0 segment=0 engine-runs=100000 lock-waits=0 index-load=0s bytes-read=0"
+[ "$cold" = "$want_cold" ] || fail "cold run did not execute the whole grid" "$want_cold" "$cold"
+
+echo "== compact =="
+CACHE_DIR="$CACHE_DIR" "$WORK/ssslab" -compact-cache | tee -a "$OUT_LOG"
+[ -f "$CACHE_DIR/cells.seg" ] || fail "compaction left no segment file" "$CACHE_DIR/cells.seg" "missing"
+[ -f "$CACHE_DIR/cells.idx" ] || fail "compaction left no index sidecar" "$CACHE_DIR/cells.idx" "missing"
+
+echo "== warm re-run from the compacted segment (fresh process, timed) =="
+start_ms=$(now_ms)
+grid > "$warm_report"
+elapsed_ms=$(( $(now_ms) - start_ms ))
+warm=$(tail -n 1 "$warm_report")
+echo "warm: $warm (${elapsed_ms} ms end to end)" | tee -a "$OUT_LOG"
+want_warm='^cache-stats: cells=100000 memo=0 disk=0 segment=100000 engine-runs=0 lock-waits=0 index-load=[^ ]+ bytes-read=[1-9][0-9]*$'
+printf '%s\n' "$warm" | grep -Eq "$want_warm" \
+    || fail "warm run was not served entirely from the segment" "$want_warm" "$warm"
+[ "$elapsed_ms" -le "$WARM_BOUND_MS" ] \
+    || fail "warm invocation exceeded the wall-clock bound" "<= ${WARM_BOUND_MS} ms" "${elapsed_ms} ms"
+
+echo "== warm report byte-identical to cold =="
+# Everything but the cache-stats line (which legitimately differs) must
+# match bit for bit: streamed records stand in for recomputes exactly.
+if ! diff <(sed '$d' "$cold_report") <(sed '$d' "$warm_report") >> "$OUT_LOG"; then
+    echo "bigcheck: warm grid report differs from cold report (diff in $OUT_LOG)" >&2
+    exit 1
+fi
+echo "OK"

@@ -65,7 +65,7 @@ echo "== pre-warm 8 cells via ssslab =="
 prewarm=$("$WORK/ssslab" -grid -seconds 1 -size 2GB -concs 2,4 \
     -rtts 8ms,64ms -crosses 0,0.3 -cache-stats | tail -n 1)
 echo "prewarm: $prewarm" | tee -a "$OUT_LOG"
-want_prewarm="cache-stats: cells=8 memo=0 disk=0 segment=0 engine-runs=8 lock-waits=0"
+want_prewarm="cache-stats: cells=8 memo=0 disk=0 segment=0 engine-runs=8 lock-waits=0 index-load=0s bytes-read=0"
 [ "$prewarm" = "$want_prewarm" ] || fail "pre-warm did not execute the whole grid" "$want_prewarm" "$prewarm"
 
 echo "== start decided =="
