@@ -15,10 +15,11 @@
 // than the relative tolerance -tol. CI uses this (scripts/benchcmp.sh)
 // to catch silent changes to the sweep dynamics — and, via the
 // engine_runs = 0 of grid_subgrid_warm, grid_segment_warm,
-// grid_open_100k, and service_warm_decision, any regression of the cell
-// store's sub-grid reuse, segment warm-open (small and 100,000-cell
-// scale), or resident-service warm-request guarantees; timings are
-// never compared, so the gate is noise-free.
+// grid_multihop_warm, grid_open_100k, and service_warm_decision, any
+// regression of the cell store's sub-grid reuse, segment warm-open
+// (small, multi-hop, and 100,000-cell scale), or resident-service
+// warm-request guarantees; timings are never compared, so the gate is
+// noise-free.
 package main
 
 import (
@@ -144,6 +145,30 @@ func subgridAxes() (super, sub workload.Axes) {
 	sub = super
 	sub.RTTs = super.RTTs[2:]
 	return super, sub
+}
+
+// multiHopAxes is the grid_multihop_warm scenario's grid: an
+// edge→WAN→ingress hop chain swept over edge capacity × WAN RTT ×
+// ingress buffer
+// (2×2×2 = 8 cells). Small on purpose — the scenario measures the
+// multi-hop warm-open path (hop coordinates round-tripped through v4
+// cell records and the compacted segment store), not the simulator.
+func multiHopAxes() workload.Axes {
+	return workload.Axes{
+		Duration:      time.Second,
+		Concurrencies: []int{2},
+		ParallelFlows: []int{4},
+		TransferSizes: []units.ByteSize{0.5 * units.GB},
+		Net:           tcpsim.DefaultConfig(),
+		Path: tcpsim.Path{
+			{Role: tcpsim.HopEdge, Capacity: 10 * units.Gbps, RTT: 2 * time.Millisecond},
+			{Role: tcpsim.HopWAN, Capacity: 100 * units.Gbps, RTT: 30 * time.Millisecond, CrossFraction: 0.3},
+			{Role: tcpsim.HopIngress, Capacity: 40 * units.Gbps, RTT: time.Millisecond},
+		},
+		EdgeCaps:       []units.BitRate{10 * units.Gbps, 40 * units.Gbps},
+		WANRTTs:        []time.Duration{20 * time.Millisecond, 60 * time.Millisecond},
+		IngressBuffers: []units.ByteSize{0, 4 * units.MB},
+	}
 }
 
 // bigGridAxes is the grid_open_100k scenario's grid: exactly 100,000
@@ -328,6 +353,49 @@ func run(args []string, out io.Writer) error {
 		}
 	}))
 
+	// The multi-hop warm-open path: an edge→WAN grid cold-seeded once,
+	// compacted, and then reassembled from the segment store the way a
+	// fresh process would — hop coordinates (edge cap, WAN RTT, ingress
+	// buffer) round-tripped through v4 cell records. engine_runs is gated
+	// at 0 by -compare: a multi-hop re-run that simulates means the hop
+	// axes broke cache identity.
+	hopDir, err := os.MkdirTemp("", "benchjson-multihop")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(hopDir)
+	hop := multiHopAxes()
+	hopSeeder := workload.NewGridCache()
+	hopSeeder.SetDiskDir(hopDir)
+	if _, err := hopSeeder.Get(hop, 0); err != nil {
+		return err
+	}
+	if _, err := workload.CompactDiskCache(hopDir); err != nil {
+		return err
+	}
+	workload.ResetSegmentStores()
+	before = workload.EngineRunCount()
+	hopCache := workload.NewGridCache()
+	hopCache.SetDiskDir(hopDir)
+	hopRes, err := hopCache.Get(hop, 0)
+	if err != nil {
+		return err
+	}
+	hopMetrics := gridMetrics(hopRes)
+	hopMetrics["engine_runs"] = float64(workload.EngineRunCount() - before)
+	report.Results = append(report.Results, measure("grid_multihop_warm", hopMetrics, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// Reset drops the in-memory index so every iteration pays the
+			// true warm-open cost for the hop-axis grid.
+			workload.ResetSegmentStores()
+			c := workload.NewGridCache()
+			c.SetDiskDir(hopDir)
+			if _, err := c.Get(hop, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
 	// The tentpole warm-open path at paper scale: a 100,000-cell grid,
 	// cold-seeded once and compacted, then warm-opened the way a fresh
 	// process would — binary sidecar load, streaming sequential segment
@@ -391,7 +459,7 @@ func run(args []string, out io.Writer) error {
 		Cell: &scenario.GridSpec{
 			DurationS: 1,
 			Size:      "0.5GB",
-			AxisFlags: scenario.AxisFlags{Concs: "2", Flows: "2", RTTs: "16ms"},
+			AxesSpec:  scenario.AxesSpec{Concs: "2", Flows: "2", RTTs: "16ms"},
 		},
 	})
 	if err != nil {
@@ -495,9 +563,10 @@ func run(args []string, out io.Writer) error {
 // deterministicMetrics are the simulation outputs compared by -compare:
 // bit-reproducible across machines and worker counts, unlike timings.
 // engine_runs rides along for grid_subgrid_warm, grid_segment_warm,
-// grid_open_100k, and service_warm_decision, where the tracked value 0
-// turns the sub-grid reuse, segment warm-open, and resident-service
-// warm-request guarantees into bench-gate invariants.
+// grid_multihop_warm, grid_open_100k, and service_warm_decision, where
+// the tracked value 0 turns the sub-grid reuse, segment warm-open
+// (flat and multi-hop), and resident-service warm-request guarantees
+// into bench-gate invariants.
 var deterministicMetrics = []string{"sss", "worst_s", "engine_runs"}
 
 // compareReports checks every deterministic metric present in both

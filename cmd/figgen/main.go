@@ -47,7 +47,7 @@ func run(args []string, out io.Writer) error {
 
 	if *list {
 		fmt.Fprintln(out, "table1 table2 fig2a fig2b fig3 fig4 table3 regimes casestudy headline",
-			"ext-heatmap ext-variability ext-pipeline ext-gainmap")
+			"ext-heatmap ext-variability ext-pipeline ext-gainmap ext-hopfrontier")
 		return nil
 	}
 

@@ -18,6 +18,13 @@
 //	       [-crosses 0,0.3] [-complexity 17e12] [-local 5TF]
 //	       [-remote 100TF] [-theta 1.0]
 //
+// With -hops the grid runs over a multi-hop edge→WAN→facility path
+// instead of one flat link, sweeping hop knobs (-edge-caps, -wan-rtts,
+// -ingress-buffers) that compose down to the per-cell bottleneck:
+//
+//	ssslab -grid -hops edge:10Gbps:2ms:1MB,wan:100Gbps:30ms:8MB:0.3,ingress:40Gbps:1ms:4MB \
+//	       -edge-caps 10Gbps,60Gbps -wan-rtts 20ms,60ms
+//
 // Axis flags default to the corresponding single-experiment flag, so
 // `-grid -rtts 8ms,16ms,64ms` sweeps RTT alone. Simulated results are
 // memoized in memory and persisted per cell under -cache-dir (default
@@ -58,7 +65,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/plot"
 	"repro/internal/scenario"
-	"repro/internal/tcpsim"
 	"repro/internal/transport"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -89,7 +95,7 @@ func run(args []string, out io.Writer) error {
 	grid := fs.Bool("grid", false, "sweep a multi-axis scenario grid (sim mode only)")
 	portfolioPath := fs.String("portfolio", "",
 		"grid mode: summarize this JSON portfolio's decisions at every cell (requires -grid)")
-	axisFlags := scenario.AxisFlags{}
+	axisFlags := scenario.AxesSpec{}
 	axisFlags.Register(fs)
 	complexity := fs.Float64("complexity", 17e12, "break-even model: complexity C in FLOP per GB")
 	localStr := fs.String("local", "5TF", "break-even model: local processing rate")
@@ -102,13 +108,13 @@ func run(args []string, out io.Writer) error {
 	if *compactCache {
 		// Refuse every run-shaped flag rather than silently dropping it
 		// — the same rule -cache-stats follows outside grid mode.
-		if err := scenario.CompactCacheConflicts("ssslab", []scenario.RunFlag{
+		if err := scenario.CompactCacheConflicts("ssslab", append([]scenario.RunFlag{
 			{Name: "-grid", Set: *grid},
 			{Name: "-portfolio", Set: *portfolioPath != ""},
 			{Name: "-mode live", Set: *mode == "live"},
 			{Name: "-cache-stats", Set: *cacheStats},
 			{Name: "-csv", Set: *csvPath != ""},
-		}); err != nil {
+		}, axisFlags.RunFlags()...)); err != nil {
 			return err
 		}
 		return scenario.RunCompactCache(out, *cacheDir)
@@ -116,32 +122,36 @@ func run(args []string, out io.Writer) error {
 
 	switch *mode {
 	case "sim":
-		size := 0.5 * units.GB
-		if *sizeStr != "" {
-			var err error
-			size, err = units.ParseByteSize(*sizeStr)
-			if err != nil {
-				return err
-			}
-		}
-		strat := workload.SpawnSimultaneous
-		if *strategy == "scheduled" {
-			strat = workload.SpawnScheduled
-		} else if *strategy != "simultaneous" {
-			return fmt.Errorf("unknown strategy %q", *strategy)
+		if *seconds <= 0 {
+			return fmt.Errorf("-seconds %d: must be positive", *seconds)
 		}
 		dir, err := workload.ResolveCacheDir(*cacheDir)
 		if err != nil {
 			return err
 		}
 		workload.SetDiskCacheDir(dir)
-		base := workload.Axes{
-			Duration:      time.Duration(*seconds) * time.Second,
-			Concurrencies: []int{*concurrency},
-			ParallelFlows: []int{*flows},
-			TransferSizes: []units.ByteSize{size},
-			Strategy:      strat,
-			Net:           tcpsim.DefaultConfig(),
+		// Lower through the canonical GridSpec — the same struct
+		// streamdecide's grid mode and decided service requests lower
+		// through — so every sim surface speaks one grid vocabulary.
+		// ssslab's sim default size is 0.5GB (not the spec's 2GB).
+		sizeSpec := *sizeStr
+		if sizeSpec == "" {
+			sizeSpec = "0.5GB"
+		}
+		spec := scenario.GridSpec{
+			DurationS:   *seconds,
+			Size:        sizeSpec,
+			Concurrency: *concurrency,
+			PFlows:      *flows,
+			Strategy:    *strategy,
+		}
+		if *grid {
+			// Outside -grid the axis flags are inert, as they always were.
+			spec.AxesSpec = axisFlags
+		}
+		base, err := spec.Axes()
+		if err != nil {
+			return err
 		}
 		// report appends the per-run cache counter deltas after a
 		// successful sim run, so operators see how much of the grid the
@@ -155,14 +165,10 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		if *grid {
-			axes, err := axisFlags.Apply(base)
-			if err != nil {
-				return err
-			}
 			if *portfolioPath != "" {
-				return report(runPortfolioSim(out, axes, *portfolioPath, *csvPath))
+				return report(runPortfolioSim(out, base, *portfolioPath, *csvPath))
 			}
-			return report(runGridSim(out, axes, *complexity, *localStr, *remoteStr, *theta, *csvPath))
+			return report(runGridSim(out, base, *complexity, *localStr, *remoteStr, *theta, *csvPath))
 		}
 		if *portfolioPath != "" {
 			return fmt.Errorf("-portfolio requires -grid (the portfolio is decided at every grid cell)")
@@ -297,8 +303,13 @@ func runPortfolioSim(out io.Writer, axes workload.Axes, portfolioPath, csvPath s
 		return err
 	}
 	a := g.Axes
-	fmt.Fprintf(out, "portfolio: %s (%d scenarios) over grid: %s (%s, %v bottleneck)\n\n",
-		pf.Name, len(pf.Workloads), scenario.GridHeader(a), a.Strategy, a.Net.Capacity)
+	if len(a.Path) > 1 {
+		fmt.Fprintf(out, "portfolio: %s (%d scenarios) over grid: %s (%s, %d-hop path)\n\n",
+			pf.Name, len(pf.Workloads), scenario.GridHeader(a), a.Strategy, len(a.Path))
+	} else {
+		fmt.Fprintf(out, "portfolio: %s (%d scenarios) over grid: %s (%s, %v bottleneck)\n\n",
+			pf.Name, len(pf.Workloads), scenario.GridHeader(a), a.Strategy, a.Net.Capacity)
+	}
 
 	t := &plot.Table{Header: []string{"Scenario", "Remote", "Local", "Infeasible"}}
 	for i, w := range pf.Workloads {
@@ -350,21 +361,44 @@ func runGridSim(out io.Writer, axes workload.Axes, complexity float64, localStr,
 		return err
 	}
 	a := g.Axes
-	fmt.Fprintf(out, "grid: %s (%s, %v bottleneck)\n", scenario.GridHeader(a), a.Strategy, a.Net.Capacity)
+	multiHop := len(a.Path) > 1
+	if multiHop {
+		fmt.Fprintf(out, "grid: %s (%s, %d-hop path)\n", scenario.GridHeader(a), a.Strategy, len(a.Path))
+	} else {
+		fmt.Fprintf(out, "grid: %s (%s, %v bottleneck)\n", scenario.GridHeader(a), a.Strategy, a.Net.Capacity)
+	}
 
 	rc := core.DefaultRegimeClassifier()
-	t := &plot.Table{Header: []string{
-		"Size", "RTT", "Buffer", "CC", "Cross", "Conc", "P",
-		"Offered", "Util", "Worst", "SSS", "Regime",
-	}}
+	var t *plot.Table
+	if multiHop {
+		// Hop knobs are the coordinates; the composed bottleneck shows up
+		// through Worst/Util/SSS like any other measured behavior.
+		t = &plot.Table{Header: []string{
+			"Size", "ECap", "WANRTT", "IBuf", "CC", "Conc", "P",
+			"Offered", "Util", "Worst", "SSS", "Regime",
+		}}
+	} else {
+		t = &plot.Table{Header: []string{
+			"Size", "RTT", "Buffer", "CC", "Cross", "Conc", "P",
+			"Offered", "Util", "Worst", "SSS", "Regime",
+		}}
+	}
 	for _, row := range g.Rows {
 		c := row.Cell
-		t.AddRow(
-			c.TransferSize.String(),
-			c.RTT.String(),
-			scenario.BufferLabel(c.Buffer),
-			c.CC.String(),
-			fmt.Sprintf("%g", c.CrossFraction),
+		coords := []string{c.TransferSize.String(), c.RTT.String(), scenario.BufferLabel(c.Buffer),
+			c.CC.String(), fmt.Sprintf("%g", c.CrossFraction)}
+		if multiHop {
+			ecap, wrtt := "base", "base"
+			if c.EdgeCap > 0 {
+				ecap = c.EdgeCap.String()
+			}
+			if c.WANRTT > 0 {
+				wrtt = c.WANRTT.String()
+			}
+			coords = []string{c.TransferSize.String(), ecap, wrtt,
+				scenario.BufferLabel(c.IngressBuffer), c.CC.String()}
+		}
+		t.AddRow(append(coords,
 			fmt.Sprintf("%d", c.Concurrency),
 			fmt.Sprintf("%d", c.ParallelFlows),
 			fmt.Sprintf("%.0f%%", row.OfferedLoad*100),
@@ -372,7 +406,7 @@ func runGridSim(out io.Writer, axes workload.Axes, complexity float64, localStr,
 			row.Worst.Round(time.Millisecond).String(),
 			fmt.Sprintf("%.2f", row.SSS),
 			rc.Classify(row.Worst).String(),
-		)
+		)...)
 	}
 	fmt.Fprint(out, t.String())
 

@@ -252,6 +252,11 @@ func TestCompactCacheFlagConflicts(t *testing.T) {
 		{"-compact-cache", "-mode", "live"},
 		{"-compact-cache", "-cache-stats"},
 		{"-compact-cache", "-csv", "out.csv"},
+		{"-compact-cache", "-concs", "1,4"},
+		{"-compact-cache", "-hops", "edge:10Gbps:2ms,wan:100Gbps:30ms"},
+		{"-compact-cache", "-edge-caps", "10Gbps,60Gbps"},
+		{"-compact-cache", "-wan-rtts", "20ms,60ms"},
+		{"-compact-cache", "-ingress-buffers", "auto,4MB"},
 	} {
 		var out strings.Builder
 		if err := run(args, &out); err == nil || !strings.Contains(err.Error(), "usage:") {

@@ -19,6 +19,16 @@
 //	             [-buffers auto,2MB] [-ccs reno,cubic] [-crosses 0,0.3]
 //	             [-cache-dir DIR|off]
 //
+// Multi-hop mode replaces the single bottleneck link with an
+// edge→WAN→facility hop chain (-hops) and sweeps hop knobs instead of
+// the flat link axes; the decision becomes a placement (stream-direct,
+// edge-prefilter, store-forward) and the report shows the per-cell
+// bottleneck hop plus the placement frontier:
+//
+//	streamdecide -grid -hops edge:10Gbps:2ms:1MB,wan:100Gbps:30ms:8MB:0.3,ingress:40Gbps:1ms:4MB \
+//	             -edge-caps 10Gbps,60Gbps -wan-rtts 20ms,60ms \
+//	             [-ingress-buffers auto,4MB] [-prefilter 0.25]
+//
 // Portfolio-over-grid mode decides a whole JSON portfolio (the -config
 // schema) at every grid cell and reports, per cell, each scenario's
 // decision plus the fraction of the portfolio that should stream, and,
@@ -50,7 +60,6 @@ import (
 	"repro/internal/plot"
 	"repro/internal/scenario"
 	"repro/internal/stats"
-	"repro/internal/tcpsim"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -80,7 +89,9 @@ func run(args []string, out io.Writer) error {
 	csvPath := fs.String("csv", "", "portfolio grid mode: write per-cell, per-scenario decisions as CSV")
 	jsonPath := fs.String("json", "", "portfolio grid mode: archive the portfolio grid as versioned JSON")
 	gseconds := fs.Int("gseconds", 3, "grid: congestion experiment duration in seconds")
-	axisFlags := scenario.AxisFlags{}
+	prefilter := fs.Float64("prefilter", 0,
+		"multi-hop grid: edge-prefilter survival fraction in (0,1) for placement decisions (0 disables)")
+	axisFlags := scenario.AxesSpec{}
 	axisFlags.Register(fs)
 	cacheDir := fs.String("cache-dir", "",
 		"sweep disk cache directory (default $CACHE_DIR, else ~/.cache/repro/sweeps; \"off\" disables)")
@@ -94,14 +105,15 @@ func run(args []string, out io.Writer) error {
 	if *compactCache {
 		// Refuse every run-shaped flag rather than silently dropping it
 		// — the same rule -cache-stats follows outside grid mode.
-		if err := scenario.CompactCacheConflicts("streamdecide", []scenario.RunFlag{
+		if err := scenario.CompactCacheConflicts("streamdecide", append([]scenario.RunFlag{
 			{Name: "-grid", Set: *grid},
 			{Name: "-portfolio", Set: *portfolioPath != ""},
 			{Name: "-config", Set: *configPath != ""},
 			{Name: "-cache-stats", Set: *cacheStats},
 			{Name: "-csv", Set: *csvPath != ""},
 			{Name: "-json", Set: *jsonPath != ""},
-		}); err != nil {
+			{Name: "-prefilter", Set: *prefilter != 0},
+		}, axisFlags.RunFlags()...)); err != nil {
 			return err
 		}
 		return scenario.RunCompactCache(out, *cacheDir)
@@ -207,19 +219,20 @@ func run(args []string, out io.Writer) error {
 			}
 			return err
 		}
-		net := tcpsim.DefaultConfig()
-		net.Capacity = bw
-		base := workload.Axes{
-			Duration:      time.Duration(*gseconds) * time.Second,
-			Concurrencies: []int{4},
-			ParallelFlows: []int{8},
-			TransferSizes: []units.ByteSize{size},
-			Strategy:      workload.SpawnSimultaneous,
-			Net:           net,
-		}
-		axes, err := axisFlags.Apply(base)
+		// Lower through the canonical GridSpec — the exact struct a
+		// decided service request lowers through — so the CLI and the
+		// service cannot drift apart on grid vocabulary or defaults.
+		axes, err := scenario.GridSpec{
+			DurationS: *gseconds,
+			Bandwidth: *bwStr,
+			Size:      *sizeStr,
+			AxesSpec:  axisFlags,
+		}.Axes()
 		if err != nil {
 			return err
+		}
+		if *prefilter != 0 && len(axes.Path) < 2 {
+			return fmt.Errorf("-prefilter requires a multi-hop grid (pass -hops with at least two hops)")
 		}
 		g, err := workload.RunGridCached(axes, 0)
 		if err != nil {
@@ -237,7 +250,11 @@ func run(args []string, out io.Writer) error {
 			}
 			// RenderPortfolio prints the grid dimensions itself; only the
 			// link note is unique to the CLI preamble.
-			fmt.Fprintf(out, "link: %v bottleneck; R_transfer measured per cell\n\n", a.Net.Capacity)
+			if len(a.Path) > 1 {
+				fmt.Fprintf(out, "link: %d-hop path, bottleneck composed per cell; R_transfer measured per cell\n\n", len(a.Path))
+			} else {
+				fmt.Fprintf(out, "link: %v bottleneck; R_transfer measured per cell\n\n", a.Net.Capacity)
+			}
 			fmt.Fprint(out, scenario.RenderPortfolio(pg))
 			if *csvPath != "" {
 				if err := writeFile(*csvPath, pg.WriteCSV); err != nil {
@@ -249,6 +266,18 @@ func run(args []string, out io.Writer) error {
 					return err
 				}
 			}
+			return reportStats(nil)
+		}
+		if len(a.Path) > 1 {
+			fmt.Fprintf(out, "grid: %s (%d-hop path, bottleneck composed per cell)\n", scenario.GridHeader(a), len(a.Path))
+			fmt.Fprintf(out, "model: C=%.3g FLOP/GB, local %v, remote %v, theta %.2f; R_transfer measured per cell\n\n",
+				*complexity, local, remote, *theta)
+			pds, err := scenario.DecidePlacementGrid(g, p,
+				core.PlacementOpts{DecideOpts: opts, PrefilterFactor: *prefilter})
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(out, scenario.RenderPlacementGrid(pds))
 			return reportStats(nil)
 		}
 		fmt.Fprintf(out, "grid: %s (%v bottleneck)\n", scenario.GridHeader(a), a.Net.Capacity)

@@ -277,6 +277,12 @@ func TestCompactCacheFlagConflicts(t *testing.T) {
 		{"-compact-cache", "-config", examplePortfolio},
 		{"-compact-cache", "-cache-stats"},
 		{"-compact-cache", "-json", "out.json"},
+		{"-compact-cache", "-rtts", "8ms,16ms"},
+		{"-compact-cache", "-hops", "edge:10Gbps:2ms,wan:100Gbps:30ms"},
+		{"-compact-cache", "-edge-caps", "10Gbps,60Gbps"},
+		{"-compact-cache", "-wan-rtts", "20ms,60ms"},
+		{"-compact-cache", "-ingress-buffers", "auto,4MB"},
+		{"-compact-cache", "-prefilter", "0.25"},
 	} {
 		var out strings.Builder
 		if err := run(args, &out); err == nil || !strings.Contains(err.Error(), "usage:") {

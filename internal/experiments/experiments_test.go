@@ -251,7 +251,8 @@ func TestRunAllSuite(t *testing.T) {
 		t.Fatal(err)
 	}
 	wantIDs := []string{"table1", "table2", "fig2a", "fig2b", "fig3", "fig4", "table3",
-		"regimes", "casestudy", "headline", "ext-heatmap", "ext-variability", "ext-pipeline", "ext-gainmap"}
+		"regimes", "casestudy", "headline", "ext-heatmap", "ext-variability", "ext-pipeline", "ext-gainmap",
+		"ext-hopfrontier"}
 	got := suite.IDs()
 	if len(got) != len(wantIDs) {
 		t.Fatalf("artifacts = %v", got)

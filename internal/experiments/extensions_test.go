@@ -82,6 +82,30 @@ func TestGainGridFrontier(t *testing.T) {
 	}
 }
 
+func TestHopFrontier(t *testing.T) {
+	a, err := HopFrontier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != "ext-hopfrontier" {
+		t.Errorf("id = %s", a.ID)
+	}
+	for _, want := range []string{"edge->WAN", "ECap", "WANRTT", "Placement", "Bottleneck"} {
+		if !strings.Contains(a.Text, want) {
+			t.Errorf("report missing %q:\n%s", want, a.Text)
+		}
+	}
+	// The 2 Gbps edge uplink cannot sustain the 2 GB/s generation rate,
+	// so at least one cell must leave stream-direct, and the sweep spans
+	// the 2→25 Gbps uplink upgrade, so the verdict must not be uniform.
+	if !strings.Contains(a.Text, "placement frontier (") {
+		t.Errorf("expected a placement frontier across the uplink sweep:\n%s", a.Text)
+	}
+	if !strings.Contains(a.CSV, "edge_cap,wan_rtt,placement,bottleneck,gain") {
+		t.Errorf("csv header:\n%s", a.CSV)
+	}
+}
+
 func TestPipelineReport(t *testing.T) {
 	a, err := PipelineReport()
 	if err != nil {

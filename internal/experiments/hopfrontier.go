@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/plot"
+	"repro/internal/scenario"
+	"repro/internal/tcpsim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// hopFrontierAxes is the multi-hop grid behind ext-hopfrontier: the §5
+// coherent-scattering transfer pushed through an edge→WAN chain, sweeping
+// the edge uplink and the WAN RTT. Four measured cells keep the artifact
+// cheap enough for RunAll's quick path while still crossing the
+// placement frontier.
+func hopFrontierAxes() workload.Axes {
+	return workload.Axes{
+		Duration:      2 * time.Second,
+		Concurrencies: []int{4},
+		ParallelFlows: []int{8},
+		TransferSizes: []units.ByteSize{2 * units.GB},
+		Net:           tcpsim.DefaultConfig(),
+		Path: tcpsim.Path{
+			{Role: tcpsim.HopEdge, Capacity: 10 * units.Gbps, RTT: 2 * time.Millisecond},
+			{Role: tcpsim.HopWAN, Capacity: 100 * units.Gbps, RTT: 30 * time.Millisecond, CrossFraction: 0.3},
+		},
+		EdgeCaps: []units.BitRate{2 * units.Gbps, 25 * units.Gbps},
+		WANRTTs:  []time.Duration{10 * time.Millisecond, 60 * time.Millisecond},
+	}
+}
+
+// HopFrontier decides placement — stream-direct, edge-prefilter, or
+// store-and-forward — for the §5 workload over a measured edge→WAN hop
+// grid, and reports where on the (edge capacity × WAN RTT) plane the
+// verdict flips. This is the multi-hop extension of the gain map: the
+// same decision calculus, but judged against the composed per-cell
+// bottleneck with per-hop attribution.
+func HopFrontier() (Artifact, error) {
+	g, err := workload.RunGridCached(hopFrontierAxes(), 0)
+	if err != nil {
+		return Artifact{}, fmt.Errorf("experiments: hop frontier grid: %w", err)
+	}
+	p := core.Params{
+		UnitSize:              2 * units.GB,
+		ComplexityFLOPPerByte: core.ComplexityFLOPPerGB(17e12),
+		LocalRate:             5 * units.TeraFLOPS,
+		RemoteRate:            100 * units.TeraFLOPS,
+		Bandwidth:             25 * units.Gbps,
+		TransferRate:          2 * units.GBps,
+		Theta:                 1,
+	}
+	ds, err := scenario.DecidePlacementGrid(g, p, core.PlacementOpts{PrefilterFactor: 0.25})
+	if err != nil {
+		return Artifact{}, fmt.Errorf("experiments: hop frontier: %w", err)
+	}
+
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "workload: coherent scattering (2 GB units, 17 TFLOP/GB), edge->WAN chain\n")
+	fmt.Fprintf(&b, "grid: %d measured cells, edge uplink x WAN RTT; prefilter factor 0.25\n\n",
+		len(ds))
+	b.WriteString(scenario.RenderPlacementGrid(ds))
+
+	t := &plot.Table{Header: []string{"edge_cap", "wan_rtt", "placement", "bottleneck", "gain"}}
+	for _, d := range ds {
+		bottleneck := "?"
+		for _, h := range d.Placement.Hops {
+			if h.Bottleneck {
+				bottleneck = h.Name
+				break
+			}
+		}
+		t.AddRow(d.Row.Cell.EdgeCap.String(), d.Row.Cell.WANRTT.String(),
+			d.Placement.Placement.String(), bottleneck,
+			fmt.Sprintf("%.3f", d.Decision.Gain))
+	}
+	var csv bytes.Buffer
+	_ = t.WriteCSV(&csv)
+
+	title := "Placement frontier over the edge->WAN hop chain [extension]"
+	return Artifact{ID: "ext-hopfrontier", Title: title, Text: b.String(), CSV: csv.String()}, nil
+}

@@ -118,6 +118,10 @@ func RunAll(sweep workload.SweepConfig) (*Suite, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: gain map: %w", err)
 	}
-	suite.Artifacts = append(suite.Artifacts, heat, vari, pipe, gain)
+	hops, err := HopFrontier()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: hop frontier: %w", err)
+	}
+	suite.Artifacts = append(suite.Artifacts, heat, vari, pipe, gain, hops)
 	return suite, nil
 }

@@ -41,13 +41,14 @@ func DecideGrid(g *workload.GridResult, base core.Params, opts core.DecideOpts) 
 	}
 	out := make([]GridDecision, 0, len(g.Rows))
 	for _, row := range g.Rows {
-		rate := row.EffectiveRate(g.Axes.Net.Capacity)
+		cap := cellCapacity(g.Axes, row.Cell)
+		rate := row.EffectiveRate(cap)
 		if rate <= 0 {
 			return nil, fmt.Errorf("scenario: grid cell %d has non-positive worst FCT", row.Cell.Index)
 		}
 		p := base
 		p.UnitSize = row.Cell.TransferSize
-		p.Bandwidth = g.Axes.Net.Capacity
+		p.Bandwidth = cap
 		p.TransferRate = rate
 		d, err := core.Decide(p, opts)
 		if err != nil {
@@ -58,6 +59,18 @@ func DecideGrid(g *workload.GridResult, base core.Params, opts core.DecideOpts) 
 	return out, nil
 }
 
+// cellCapacity is the link capacity backing one cell's measurement:
+// the composed bottleneck on a multi-hop grid (GridCell.Capacity),
+// the grid's flat base link otherwise. Every decision over a grid
+// row goes through this so multi-hop cells are judged against the
+// bottleneck that actually carried them.
+func cellCapacity(a workload.Axes, c workload.GridCell) units.BitRate {
+	if c.Capacity > 0 {
+		return c.Capacity
+	}
+	return a.Net.Capacity
+}
+
 // Flip marks two cells adjacent along one axis (all other coordinates
 // equal) whose decisions differ — a break-even boundary of the grid.
 type Flip struct {
@@ -66,8 +79,25 @@ type Flip struct {
 	From, To GridDecision
 }
 
-// gridAxisNames lists the flip axes in report order.
+// gridAxisNames lists the flip axes of a flat grid in report order.
+// These names appear in archived portfolio JSON (frontier strings), so
+// they are frozen.
 var gridAxisNames = []string{"size", "rtt", "buffer", "cc", "cross", "flows", "conc"}
+
+// hopAxisNames lists the flip axes of a multi-hop grid: the hop knobs
+// replace the flat link axes (rtt/buffer/cross are composed OUTPUTS
+// there, not independent coordinates).
+var hopAxisNames = []string{"size", "ecap", "wrtt", "ibuf", "cc", "flows", "conc"}
+
+// axisNamesFor picks the flip-axis vocabulary for a decision's grid.
+// Multi-hop cells are recognizable by their composed Capacity, which
+// flat cells always leave 0.
+func axisNamesFor(d GridDecision) []string {
+	if d.Row.Cell.Capacity > 0 {
+		return hopAxisNames
+	}
+	return gridAxisNames
+}
 
 // axisValue renders one decision's coordinate on the named axis.
 func axisValue(d GridDecision, axis string) string {
@@ -87,6 +117,18 @@ func axisValue(d GridDecision, axis string) string {
 		return fmt.Sprintf("%d", c.ParallelFlows)
 	case "conc":
 		return fmt.Sprintf("%d", c.Concurrency)
+	case "ecap":
+		if c.EdgeCap == 0 {
+			return "base"
+		}
+		return c.EdgeCap.String()
+	case "wrtt":
+		if c.WANRTT == 0 {
+			return "base"
+		}
+		return c.WANRTT.String()
+	case "ibuf":
+		return BufferLabel(c.IngressBuffer)
 	default:
 		return "?"
 	}
@@ -104,8 +146,9 @@ func BufferLabel(b units.ByteSize) string {
 
 // otherCoords keys every coordinate except the named axis.
 func otherCoords(d GridDecision, axis string) string {
-	parts := make([]string, 0, len(gridAxisNames)-1)
-	for _, a := range gridAxisNames {
+	names := axisNamesFor(d)
+	parts := make([]string, 0, len(names)-1)
+	for _, a := range names {
 		if a != axis {
 			parts = append(parts, a+"="+axisValue(d, a))
 		}
@@ -119,8 +162,11 @@ func otherCoords(d GridDecision, axis string) string {
 // axis-value order within a fixed remainder, so one ordered pass per
 // axis finds every boundary.
 func Flips(ds []GridDecision) []Flip {
+	if len(ds) == 0 {
+		return nil
+	}
 	var flips []Flip
-	for _, axis := range gridAxisNames {
+	for _, axis := range axisNamesFor(ds[0]) {
 		last := make(map[string]GridDecision)
 		for _, d := range ds {
 			key := otherCoords(d, axis)

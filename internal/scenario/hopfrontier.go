@@ -1,0 +1,147 @@
+package scenario
+
+// Hop-frontier decisions: the multi-hop analogue of DecideGrid. Where a
+// flat grid asks "stream or store" per cell and Flips reports where the
+// binary verdict turns over, a multi-hop grid asks WHERE to process —
+// stream direct, prefilter at the edge, or store-and-forward — and the
+// frontier of interest is where the *placement* changes as hop knobs
+// (edge capacity, WAN RTT, ingress buffer) sweep. The measured side is
+// identical to the flat pipeline: the same grid rows, the same
+// congestion-degraded effective rate; only the verdict is richer.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/plot"
+	"repro/internal/workload"
+)
+
+// PlacementGridDecision couples one multi-hop cell's measured behavior
+// and stream-vs-store decision with its placement verdict.
+type PlacementGridDecision struct {
+	GridDecision
+	Placement core.PlacementDecision
+}
+
+// DecidePlacementGrid evaluates the where-to-process decision across a
+// measured multi-hop grid. The per-cell measured lowering is exactly
+// DecideGrid's (unit size from the cell, bandwidth from the composed
+// bottleneck, rate from the worst-case FCT); on top of it each cell's
+// hop chain — the grid path with that cell's hop-axis coordinates
+// applied — is attributed through core.DecidePlacement.
+func DecidePlacementGrid(g *workload.GridResult, base core.Params, opts core.PlacementOpts) ([]PlacementGridDecision, error) {
+	if g == nil || len(g.Rows) == 0 {
+		return nil, fmt.Errorf("scenario: empty grid")
+	}
+	if len(g.Axes.Path) < 2 {
+		return nil, fmt.Errorf("scenario: placement grid needs a multi-hop path (got %d hops)", len(g.Axes.Path))
+	}
+	out := make([]PlacementGridDecision, 0, len(g.Rows))
+	for _, row := range g.Rows {
+		cap := cellCapacity(g.Axes, row.Cell)
+		rate := row.EffectiveRate(cap)
+		if rate <= 0 {
+			return nil, fmt.Errorf("scenario: grid cell %d has non-positive worst FCT", row.Cell.Index)
+		}
+		p := base
+		p.UnitSize = row.Cell.TransferSize
+		p.Bandwidth = cap
+		p.TransferRate = rate
+		pd, err := core.DecidePlacement(p, hopParams(g.Axes.Path, row.Cell), opts)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: grid cell %d: %w", row.Cell.Index, err)
+		}
+		out = append(out, PlacementGridDecision{
+			GridDecision: GridDecision{Row: row, Params: p, Decision: pd.Direct},
+			Placement:    pd,
+		})
+	}
+	return out, nil
+}
+
+// PlacementFlip marks two cells adjacent along one hop axis whose
+// placements differ — a hop frontier of the grid.
+type PlacementFlip struct {
+	Axis     string
+	From, To PlacementGridDecision
+}
+
+// String renders one placement flip in the Flip line format, with the
+// placement verdicts in the decision slots.
+func (f PlacementFlip) String() string {
+	return fmt.Sprintf("%s %s -> %s: %s -> %s (%s)",
+		f.Axis, axisValue(f.From.GridDecision, f.Axis), axisValue(f.To.GridDecision, f.Axis),
+		f.From.Placement.Placement, f.To.Placement.Placement, otherCoords(f.To.GridDecision, f.Axis))
+}
+
+// PlacementFlips scans decisions in grid order — the same ordered pass
+// Flips makes — comparing placements instead of binary choices.
+func PlacementFlips(ds []PlacementGridDecision) []PlacementFlip {
+	if len(ds) == 0 {
+		return nil
+	}
+	var flips []PlacementFlip
+	for _, axis := range axisNamesFor(ds[0].GridDecision) {
+		last := make(map[string]PlacementGridDecision)
+		for _, d := range ds {
+			key := otherCoords(d.GridDecision, axis)
+			if prev, ok := last[key]; ok && prev.Placement.Placement != d.Placement.Placement {
+				flips = append(flips, PlacementFlip{Axis: axis, From: prev, To: d})
+			}
+			last[key] = d
+		}
+	}
+	return flips
+}
+
+// bottleneckName names the bottleneck hop of one placement decision.
+func bottleneckName(pd core.PlacementDecision) string {
+	for _, h := range pd.Hops {
+		if h.Bottleneck {
+			return h.Name
+		}
+	}
+	return "?"
+}
+
+// RenderPlacementGrid formats a placement grid as an aligned table —
+// hop coordinates, measured behavior, the bottleneck hop, and the
+// placement verdict — followed by the hop-frontier report.
+func RenderPlacementGrid(ds []PlacementGridDecision) string {
+	t := &plot.Table{Header: []string{
+		"Size", "ECap", "WANRTT", "IBuf", "CC", "Conc", "P",
+		"Worst", "R_eff", "Bottleneck", "Gain", "Placement",
+	}}
+	for _, d := range ds {
+		c := d.Row.Cell
+		t.AddRow(
+			c.TransferSize.String(),
+			axisValue(d.GridDecision, "ecap"),
+			axisValue(d.GridDecision, "wrtt"),
+			BufferLabel(c.IngressBuffer),
+			c.CC.String(),
+			fmt.Sprintf("%d", c.Concurrency),
+			fmt.Sprintf("%d", c.ParallelFlows),
+			d.Row.Worst.Round(time.Millisecond).String(),
+			d.Params.TransferRate.String(),
+			bottleneckName(d.Placement),
+			fmt.Sprintf("%.2f", d.Decision.Gain),
+			d.Placement.Placement.String(),
+		)
+	}
+	var b strings.Builder
+	b.WriteString(t.String())
+	flips := PlacementFlips(ds)
+	if len(flips) == 0 {
+		b.WriteString("placement frontier: none (placement uniform across the grid)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "placement frontier (%d):\n", len(flips))
+	for _, f := range flips {
+		fmt.Fprintf(&b, "  %s\n", f)
+	}
+	return b.String()
+}

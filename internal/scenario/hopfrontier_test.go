@@ -1,0 +1,160 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tcpsim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// twoHopPath: a sweepable edge uplink in front of a congested WAN.
+func twoHopPath() tcpsim.Path {
+	return tcpsim.Path{
+		{Role: tcpsim.HopEdge, Capacity: 10e9, RTT: 2 * time.Millisecond, Buffer: 1 * units.MB},
+		{Role: tcpsim.HopWAN, Capacity: 100e9, RTT: 30 * time.Millisecond, Buffer: 8 * units.MB, CrossFraction: 0.3},
+	}
+}
+
+// syntheticHopGrid builds a 2-cell multi-hop grid (edge capacity axis
+// only) with chosen worst FCTs, mirroring syntheticGrid for the flat
+// decision tests.
+func syntheticHopGrid(worsts map[int]time.Duration) *workload.GridResult {
+	axes := workload.Axes{
+		Duration:      10 * time.Second,
+		Concurrencies: []int{4},
+		ParallelFlows: []int{8},
+		TransferSizes: []units.ByteSize{2 * units.GB},
+		Net:           tcpsim.DefaultConfig(),
+		Path:          twoHopPath(),
+		EdgeCaps:      []units.BitRate{10e9, 60e9},
+	}
+	g := &workload.GridResult{Axes: axes}
+	for _, c := range axes.Cells() {
+		g.Rows = append(g.Rows, workload.GridRow{
+			Cell: c,
+			SweepRow: workload.SweepRow{
+				Concurrency:   c.Concurrency,
+				ParallelFlows: c.ParallelFlows,
+				Worst:         worsts[c.Index],
+			},
+		})
+	}
+	return g
+}
+
+func TestDecidePlacementGrid(t *testing.T) {
+	// Cell 0 (10G edge): 2 GB in 1 s streams comfortably → stream-direct.
+	// Cell 1 (60G edge): 10 s worst FCT makes local win → store-forward.
+	g := syntheticHopGrid(map[int]time.Duration{0: 1 * time.Second, 1: 10 * time.Second})
+	ds, err := DecidePlacementGrid(g, decisionParams(), core.PlacementOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 {
+		t.Fatalf("decisions = %d, want 2", len(ds))
+	}
+	if ds[0].Placement.Placement != core.PlaceStreamDirect {
+		t.Errorf("cell 0 placement = %v (%s)", ds[0].Placement.Placement, ds[0].Placement.Reason)
+	}
+	if ds[1].Placement.Placement != core.PlaceStoreForward {
+		t.Errorf("cell 1 placement = %v (%s)", ds[1].Placement.Placement, ds[1].Placement.Reason)
+	}
+	// The decision must be judged against the COMPOSED per-cell
+	// bottleneck, not the base Net: the 10G-edge cell's bandwidth is the
+	// edge, the 60G-edge cell's is the 60G edge (residual 7.5 GB/s,
+	// still under the WAN's 70 Gbps residual).
+	if ds[0].Params.Bandwidth != 10e9 || ds[1].Params.Bandwidth != 60e9 {
+		t.Errorf("bandwidths = %v, %v; want composed 10e9, 60e9", ds[0].Params.Bandwidth, ds[1].Params.Bandwidth)
+	}
+	// Per-hop attribution rides along, in path order.
+	for i, d := range ds {
+		if len(d.Placement.Hops) != 2 || d.Placement.Hops[0].Name != "edge" || d.Placement.Hops[1].Name != "wan" {
+			t.Fatalf("cell %d hops = %+v", i, d.Placement.Hops)
+		}
+	}
+	if !ds[0].Placement.Hops[0].Bottleneck {
+		t.Errorf("cell 0: 10G edge should be the bottleneck: %+v", ds[0].Placement.Hops)
+	}
+	if !ds[1].Placement.Hops[0].Bottleneck || ds[1].Placement.Hops[1].Bottleneck {
+		t.Errorf("cell 1: 60G edge (7.5 GB/s) still under WAN residual (8.75 GB/s): %+v", ds[1].Placement.Hops)
+	}
+
+	flips := PlacementFlips(ds)
+	if len(flips) != 1 || flips[0].Axis != "ecap" {
+		t.Fatalf("placement flips = %v, want one along ecap", flips)
+	}
+
+	out := RenderPlacementGrid(ds)
+	for _, want := range []string{
+		"ECap", "WANRTT", "IBuf", "Bottleneck", "Placement",
+		"stream-direct", "store-forward",
+		"placement frontier (1):",
+		"ecap 10.00 Gbps -> 60.00 Gbps: stream-direct -> store-forward",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDecidePlacementGridUniform(t *testing.T) {
+	g := syntheticHopGrid(map[int]time.Duration{0: 1 * time.Second, 1: 1 * time.Second})
+	ds, err := DecidePlacementGrid(g, decisionParams(), core.PlacementOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flips := PlacementFlips(ds); len(flips) != 0 {
+		t.Errorf("uniform grid produced placement flips: %v", flips)
+	}
+	if out := RenderPlacementGrid(ds); !strings.Contains(out, "placement frontier: none") {
+		t.Errorf("render missing uniform note:\n%s", out)
+	}
+}
+
+func TestDecidePlacementGridRejectsFlat(t *testing.T) {
+	flat := syntheticGrid(map[int]time.Duration{
+		0: time.Second, 1: time.Second, 2: time.Second, 3: time.Second,
+	})
+	if _, err := DecidePlacementGrid(flat, decisionParams(), core.PlacementOpts{}); err == nil {
+		t.Error("flat grid accepted by the placement pipeline")
+	}
+	if _, err := DecidePlacementGrid(nil, decisionParams(), core.PlacementOpts{}); err == nil {
+		t.Error("nil grid accepted")
+	}
+}
+
+// TestDecidePlacementGridMeasured runs a real (tiny) multi-hop grid
+// through the simulator and the placement pipeline end to end.
+func TestDecidePlacementGridMeasured(t *testing.T) {
+	axes := workload.Axes{
+		Duration:      1 * time.Second,
+		Concurrencies: []int{2},
+		ParallelFlows: []int{4},
+		TransferSizes: []units.ByteSize{0.5 * units.GB},
+		Net:           tcpsim.DefaultConfig(),
+		Path:          twoHopPath(),
+		EdgeCaps:      []units.BitRate{10e9, 60e9},
+	}
+	g, err := workload.RunGridParallel(axes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := DecidePlacementGrid(g, decisionParams(),
+		core.PlacementOpts{PrefilterFactor: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ds {
+		cap := cellCapacity(g.Axes, d.Row.Cell)
+		if d.Params.TransferRate <= 0 || d.Params.TransferRate > cap.ByteRate() {
+			t.Errorf("cell %d: rate %v outside (0, %v]", d.Row.Cell.Index, d.Params.TransferRate, cap.ByteRate())
+		}
+		if err := d.Params.Validate(); err != nil {
+			t.Errorf("cell %d: invalid params: %v", d.Row.Cell.Index, err)
+		}
+	}
+}

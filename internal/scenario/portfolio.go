@@ -147,14 +147,15 @@ func DecidePortfolio(pf *Portfolio, g *workload.GridResult) (*PortfolioGrid, err
 	}
 	out := &PortfolioGrid{Portfolio: pf, Axes: g.Axes, Cells: make([]PortfolioCell, 0, len(g.Rows))}
 	for _, row := range g.Rows {
-		rate := row.EffectiveRate(g.Axes.Net.Capacity)
+		cap := cellCapacity(g.Axes, row.Cell)
+		rate := row.EffectiveRate(cap)
 		if rate <= 0 {
 			return nil, fmt.Errorf("scenario: grid cell %d has non-positive worst FCT", row.Cell.Index)
 		}
 		cell := PortfolioCell{Row: row, Rate: rate, Decisions: make([]PortfolioDecision, 0, len(pf.Workloads))}
 		for i, w := range pf.Workloads {
 			p := bases[i]
-			p.Bandwidth = g.Axes.Net.Capacity
+			p.Bandwidth = cap
 			p.TransferRate = rate
 			d, err := core.Decide(p, options[i])
 			if err != nil {

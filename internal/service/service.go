@@ -203,7 +203,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	resp, err := scenario.DecideAtCell(wl, g)
+	resp, err := scenario.DecideAtCell(wl, g, req.Prefilter)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return

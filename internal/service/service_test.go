@@ -24,7 +24,7 @@ func testSpec(rtts string) *scenario.GridSpec {
 	return &scenario.GridSpec{
 		DurationS: 1,
 		Size:      "0.5GB",
-		AxisFlags: scenario.AxisFlags{Concs: "2", Flows: "2", RTTs: rtts},
+		AxesSpec:  scenario.AxesSpec{Concs: "2", Flows: "2", RTTs: rtts},
 	}
 }
 
@@ -322,6 +322,98 @@ func TestStatsAndHealthz(t *testing.T) {
 	}
 	if stats.UptimeS < 0 || stats.Requests["decide"] != 1 || !strings.Contains(stats.CacheLine, "engine-runs=") {
 		t.Fatalf("stats body off: %s", stBody)
+	}
+}
+
+// TestSchemaVersioning: the wire-level schema gate. v1 bodies answer
+// byte-identically with and without the explicit "schema":"v1" spelling
+// and never grow v2 keys; v2 vocabulary in a v1 body is a 400 naming
+// the offending field; a v2 multi-hop body carries the placement block.
+func TestSchemaVersioning(t *testing.T) {
+	ts := newTestServer(t, Config{CacheDir: t.TempDir()})
+
+	// Byte-identity across the two v1 spellings, model mode and cell
+	// mode alike — the explicit tag must be invisible on the wire.
+	for name, body := range map[string]string{
+		"model": `{"workload":{"name":"ptycho","unit_size":"2GB","complexity_flop_per_gb":17000000000000,"local":"5TF","remote":"100TF","bandwidth":"25Gbps","transfer_rate":"2GB/s"}}`,
+		"cell":  `{"workload":{"name":"ptycho","unit_size":"2GB","complexity_flop_per_gb":17000000000000,"local":"5TF","remote":"100TF","bandwidth":"25Gbps","transfer_rate":"2GB/s"},"cell":{"duration_s":1,"size":"0.5GB","concs":"2","pflows":"2"}}`,
+	} {
+		resp, implicit := post(t, ts.URL+"/v1/decide", []byte(body))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s v1 body: status %d: %s", name, resp.StatusCode, implicit)
+		}
+		tagged := `{"schema":"v1",` + body[1:]
+		resp, explicit := post(t, ts.URL+"/v1/decide", []byte(tagged))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s explicit v1 body: status %d: %s", name, resp.StatusCode, explicit)
+		}
+		// The cache block legitimately differs (the second request is
+		// warm); everything else must be byte-identical.
+		var a, b scenario.DecideResponse
+		if err := json.Unmarshal(implicit, &a); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(explicit, &b); err != nil {
+			t.Fatal(err)
+		}
+		a.Cache, b.Cache = nil, nil
+		if marshalString(t, a) != marshalString(t, b) {
+			t.Errorf("%s: explicit \"schema\":\"v1\" changed the response:\n%s\n%s", name, implicit, explicit)
+		}
+		for _, key := range []string{`"placement"`, `"hops"`, `"placement_reason"`} {
+			if bytes.Contains(implicit, []byte(key)) {
+				t.Errorf("%s: v1 response grew v2 key %s: %s", name, key, implicit)
+			}
+		}
+	}
+
+	// v2 vocabulary under the v1 schema: 400 naming the field, before
+	// any simulation.
+	before := workload.EngineRunCount()
+	w := `"workload":{"name":"w","unit_size":"2GB","complexity_flop_per_gb":17000000000000,"local":"5TF","remote":"100TF","bandwidth":"25Gbps","transfer_rate":"2GB/s"}`
+	for field, body := range map[string]string{
+		"hops":        `{` + w + `,"cell":{"hops":"edge:10Gbps:2ms,wan:100Gbps:30ms"}}`,
+		"edge_caps":   `{` + w + `,"cell":{"edge_caps":"10Gbps"}}`,
+		"wan_rtts":    `{` + w + `,"cell":{"wan_rtts":"30ms"}}`,
+		"concurrency": `{` + w + `,"cell":{"concurrency":2}}`,
+		"prefilter":   `{` + w + `,"cell":{"duration_s":1},"prefilter":0.25}`,
+	} {
+		resp, data := post(t, ts.URL+"/v1/decide", []byte(body))
+		if resp.StatusCode != http.StatusBadRequest ||
+			!strings.Contains(string(data), `\"`+field+`\"`) ||
+			!strings.Contains(string(data), `schema`) {
+			t.Errorf("%s in v1 body: status %d body %s, want 400 naming the field", field, resp.StatusCode, data)
+		}
+	}
+	resp, data := post(t, ts.URL+"/v1/decide", []byte(`{"schema":"v3",`+w+`}`))
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(data), "unknown schema") {
+		t.Errorf("schema v3: status %d body %s, want 400 unknown schema", resp.StatusCode, data)
+	}
+	pfBody := `{"portfolio":{"workloads":[{"name":"w","unit_size":"2GB","complexity_flop_per_gb":17000000000000,"local":"5TF","remote":"100TF","bandwidth":"25Gbps","transfer_rate":"2GB/s"}]},"grid":{"duration_s":1,"hops":"edge:10Gbps:2ms,wan:100Gbps:30ms"}}`
+	resp, data = post(t, ts.URL+"/v1/portfolio", []byte(pfBody))
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(data), `\"hops\"`) {
+		t.Errorf("portfolio hops in v1 body: status %d body %s", resp.StatusCode, data)
+	}
+	if runs := workload.EngineRunCount() - before; runs != 0 {
+		t.Errorf("schema-rejected requests ran %d simulations, want 0", runs)
+	}
+
+	// A v2 multi-hop cell body answers with the placement verdict and
+	// per-hop attribution.
+	v2 := `{"schema":"v2",` + w + `,"cell":{"duration_s":1,"hops":"edge:10Gbps:2ms,wan:100Gbps:30ms"},"prefilter":0.25}`
+	resp, data = post(t, ts.URL+"/v1/decide", []byte(v2))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("v2 multi-hop body: status %d: %s", resp.StatusCode, data)
+	}
+	var out scenario.DecideResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("v2 response: %v\n%s", err, data)
+	}
+	if out.Placement == "" || out.PlacementReason == "" || len(out.Hops) != 2 {
+		t.Fatalf("v2 multi-hop response missing placement block: %s", data)
+	}
+	if out.Hops[0].Name != "edge" || out.Hops[1].Name != "wan" {
+		t.Errorf("hop order = %+v", out.Hops)
 	}
 }
 

@@ -31,16 +31,17 @@ func sampleBinRow() SweepRow {
 
 // encodeLegacySegRecord frames one v2 segment record — a JSON
 // diskEnvelope payload inside the RSG2 frame, the format every pre-v3
-// segment holds — for the migration and fuzz tests. The production code
-// can no longer write these (encodeSegRecord is v3-only), so tests
-// fabricate them here.
+// segment holds — for the staleness and fuzz tests. The production code
+// neither writes nor decodes these since the v4 bump (the version
+// string is frozen here as a literal), so tests fabricate them to prove
+// they read as dead space, never as rows.
 func encodeLegacySegRecord(tb testing.TB, fp string, row SweepRow) []byte {
 	tb.Helper()
 	raw, err := json.Marshal(row)
 	if err != nil {
 		tb.Fatal(err)
 	}
-	payload, err := json.Marshal(diskEnvelope{Version: legacyCellRecordVersion, Fingerprint: fp, Payload: raw})
+	payload, err := json.Marshal(diskEnvelope{Version: "repro-cells/v2", Fingerprint: fp, Payload: raw})
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -294,7 +295,8 @@ func FuzzCellRecordRoundTrip(f *testing.F) {
 // compaction must never panic and never error, any row served must
 // decode cleanly under its own fingerprint, and every well-formed
 // record the load path accepted must survive compaction. Seeds cover a
-// valid v3 record, a valid v2 JSON record, a mixed segment, and torn /
+// valid binary record, a v2 JSON record (dead space since the v4 bump —
+// loading it must miss, never panic), a mixed segment, and torn /
 // bit-flipped variants; the fuzzer mutates from there.
 func FuzzSegmentDecode(f *testing.F) {
 	const (
@@ -335,9 +337,8 @@ func FuzzSegmentDecode(f *testing.F) {
 			}
 			// Whatever the store serves must be internally consistent: a
 			// row that re-frames under its own fingerprint and decodes
-			// back. (A crafted v2 JSON record can carry values outside the
-			// v3 layout — then re-encoding fails and compaction is allowed
-			// to drop it, so it is not held to the survival check below.)
+			// back. (Only binary payloads decode since the v4 bump, so a
+			// served row always re-encodes; the guard stays for safety.)
 			rec, err := encodeSegRecord(fp, out)
 			if err != nil {
 				continue

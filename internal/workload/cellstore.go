@@ -38,27 +38,27 @@ import (
 )
 
 // CellRecordVersion stamps the cell-record container generation: the
-// index sidecar and (via the "RBC3" payload magic, binrecord.go) every
-// v3 segment record. v3 marks the fixed-layout binary row encoding
-// inside the RSG2 frames; the simulation dynamics, seed derivation and
-// SweepRow schema are unchanged from v1/v2, so older records stay
-// loadable through the legacy fallbacks below and migrate by
-// miss/compaction rather than recomputing. Bump this whenever the
-// simulation dynamics, the per-cell seed derivation, or the SweepRow
-// schema change: stale records then fail the version check and are
-// recomputed — and drop BOTH legacy fallbacks in the same commit if the
-// rows themselves go stale.
-const CellRecordVersion = "repro-cells/v3"
-
-// legacyCellRecordVersion is the v2 segment-record stamp: JSON
-// diskEnvelope payloads inside the RSG2 frames. v2 rows are
-// bit-identical to v3 rows (only the payload encoding changed), so v2
-// records keep serving segment hits until compaction folds them to v3.
-const legacyCellRecordVersion = "repro-cells/v2"
+// index sidecar version tag. v4 marks the multi-hop path generation —
+// the scenario space gained edge→WAN→ingress hop chains, so the record
+// population a directory may hold changed; the binary payload layout
+// ("RBC3", binrecord.go) and the RSG2 frames are untouched, and
+// single-hop rows are bit-identical across the bump, so v3 binary
+// payloads inside a segment keep serving (a pre-v4 *sidecar* merely
+// fails the version tag and degrades to a rescan). The v4 bump DID
+// drop the v2 JSON segment-payload fallback (former
+// legacyCellRecordVersion, "repro-cells/v2"): a v2 JSON payload now
+// reads as dead segment space — a miss that recomputes that cell —
+// instead of decoding. Bump this whenever the simulation dynamics, the
+// per-cell seed derivation, or the SweepRow schema change: stale
+// records then fail the version check and are recomputed — and drop
+// the remaining loose-file fallback in the same commit if the rows
+// themselves go stale.
+const CellRecordVersion = "repro-cells/v4"
 
 // looseCellRecordVersion is the v1 loose-file stamp: one JSON envelope
-// file per cell. v1 rows are bit-identical too, so a segment miss may
-// still be served by the cell's loose v1 file (migration by miss).
+// file per cell. v1 rows are bit-identical to current rows, so a
+// segment miss may still be served by the cell's loose v1 file
+// (migration by miss); compaction folds them into the segment.
 const looseCellRecordVersion = "repro-cells/v1"
 
 // cellFingerprint returns the canonical key of one cell's experiment,

@@ -52,8 +52,27 @@ type Axes struct {
 	// Strategy selects the spawning mode for every cell.
 	Strategy Strategy
 	// Net is the base network configuration; axis values override
-	// BaseRTT, Buffer, CC, and Cross.Fraction per cell.
+	// BaseRTT, Buffer, CC, and Cross.Fraction per cell. When Path is
+	// set, Net supplies only the endpoint parameters (MSS, initial
+	// window, RTO, seed, cross-traffic wave shape, ...) — the link
+	// parameters come from the path composition.
 	Net tcpsim.Config
+	// Path, when non-empty, describes the edge→WAN→facility hop chain
+	// instead of Net's single bottleneck link. A 1-hop Path is folded
+	// into Net by normalized() and is bit-identical to the equivalent
+	// flat Net; a multi-hop Path switches the grid to the hop axes
+	// below and composes each point down to its effective bottleneck.
+	Path tcpsim.Path
+	// EdgeCaps sweeps the edge uplink capacity (multi-hop only;
+	// requires an edge hop in Path).
+	EdgeCaps []units.BitRate
+	// WANRTTs sweeps the WAN segment RTT (multi-hop only; requires a
+	// WAN hop in Path).
+	WANRTTs []time.Duration
+	// IngressBuffers sweeps the facility ingress drop-tail queue; 0
+	// selects tcpsim's default (multi-hop only; requires an ingress
+	// hop in Path).
+	IngressBuffers []units.ByteSize
 	// KeepClientResults retains full per-client results on every row
 	// (see SweepConfig.KeepClientResults). Leave off for cached grids.
 	KeepClientResults bool
@@ -74,8 +93,37 @@ func AxesFromSweep(cfg SweepConfig) Axes {
 	}
 }
 
+// multiHop reports whether the grid sweeps a hop chain rather than a
+// single bottleneck link. Exactly len(Path) > 1: a 1-hop Path is the
+// flat link written differently and is folded away by normalized().
+func (a Axes) multiHop() bool { return len(a.Path) > 1 }
+
 // normalized fills empty network axes with the base Net's single point.
+// A 1-hop Path is folded into Net here — after normalization the grid
+// is indistinguishable from one described by a flat Net, which is the
+// structural guarantee that single-hop paths stay bit-identical (same
+// fingerprint, same seeds, same rows, same cache records). A multi-hop
+// Path composes into Net's link parameters and fills the hop axes with
+// the path's own values as singletons.
 func (a Axes) normalized() Axes {
+	if len(a.Path) == 1 {
+		a.Net = a.Path.Effective(a.Net)
+		a.Path = nil
+	} else if a.multiHop() {
+		a.Net = a.Path.Effective(a.Net)
+		if len(a.EdgeCaps) == 0 {
+			h, _ := a.Path.Hop(tcpsim.HopEdge)
+			a.EdgeCaps = []units.BitRate{h.Capacity}
+		}
+		if len(a.WANRTTs) == 0 {
+			h, _ := a.Path.Hop(tcpsim.HopWAN)
+			a.WANRTTs = []time.Duration{h.RTT}
+		}
+		if len(a.IngressBuffers) == 0 {
+			h, _ := a.Path.Hop(tcpsim.HopIngress)
+			a.IngressBuffers = []units.ByteSize{h.Buffer}
+		}
+	}
 	if len(a.RTTs) == 0 {
 		a.RTTs = []time.Duration{a.Net.BaseRTT}
 	}
@@ -91,10 +139,26 @@ func (a Axes) normalized() Axes {
 	return a
 }
 
-// Validate checks that every axis has at least one value. Per-cell
+// Validate checks that every axis has at least one value, that any Path
+// is structurally sound, and that hop axes are consistent with the path
+// (hop axes require a multi-hop path containing the matching hop;
+// multi-hop grids sweep hop axes, not the flat link axes). Per-cell
 // parameter validation (positive RTTs, known CC, cross fraction range,
-// ...) happens when each cell's Experiment runs.
+// ...) happens when each cell's Experiment runs. Validate is stable
+// under normalized(): a normalized Axes validates iff its source did.
 func (a Axes) Validate() error {
+	if err := a.Path.Validate(); err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	if !a.multiHop() {
+		if len(a.EdgeCaps)+len(a.WANRTTs)+len(a.IngressBuffers) > 0 {
+			return fmt.Errorf("workload: hop axes (EdgeCaps/WANRTTs/IngressBuffers) require a multi-hop Path")
+		}
+	} else {
+		if err := a.validateMultiHop(); err != nil {
+			return err
+		}
+	}
 	n := a.normalized()
 	switch {
 	case len(n.Concurrencies) == 0:
@@ -107,10 +171,69 @@ func (a Axes) Validate() error {
 	return nil
 }
 
-// NetPoints returns the number of distinct network points — the size of
-// the TransferSizes × RTTs × Buffers × CCs × CrossFractions product.
+// validateMultiHop checks the hop-axis rules for a multi-hop grid. The
+// flat link axes are rejected unless they hold exactly the singleton
+// normalized() itself fills in (so re-validating a normalized Axes
+// still passes) — a multi-hop grid's RTT, buffer, and cross-traffic
+// vary only through its hops.
+func (a Axes) validateMultiHop() error {
+	eff := a.Path.Effective(a.Net)
+	if len(a.RTTs) > 1 || (len(a.RTTs) == 1 && a.RTTs[0] != eff.BaseRTT) {
+		return fmt.Errorf("workload: multi-hop grids sweep WANRTTs, not the flat RTTs axis")
+	}
+	if len(a.Buffers) > 1 || (len(a.Buffers) == 1 && a.Buffers[0] != eff.Buffer) {
+		return fmt.Errorf("workload: multi-hop grids sweep IngressBuffers, not the flat Buffers axis")
+	}
+	if len(a.CrossFractions) > 1 || (len(a.CrossFractions) == 1 && a.CrossFractions[0] != eff.Cross.Fraction) {
+		return fmt.Errorf("workload: multi-hop grids fix cross-traffic per hop; the flat CrossFractions axis does not apply")
+	}
+	// A hop axis needs its hop; when the hop is absent the axis may
+	// hold only the {0} placeholder normalized() fills in.
+	if _, ok := a.Path.Hop(tcpsim.HopEdge); !ok {
+		if len(a.EdgeCaps) > 1 || (len(a.EdgeCaps) == 1 && a.EdgeCaps[0] != 0) {
+			return fmt.Errorf("workload: EdgeCaps axis requires an edge hop in the path")
+		}
+	} else {
+		for _, c := range a.EdgeCaps {
+			if c <= 0 {
+				return fmt.Errorf("workload: EdgeCaps values must be positive")
+			}
+		}
+	}
+	if _, ok := a.Path.Hop(tcpsim.HopWAN); !ok {
+		if len(a.WANRTTs) > 1 || (len(a.WANRTTs) == 1 && a.WANRTTs[0] != 0) {
+			return fmt.Errorf("workload: WANRTTs axis requires a wan hop in the path")
+		}
+	} else {
+		for _, r := range a.WANRTTs {
+			if r <= 0 {
+				return fmt.Errorf("workload: WANRTTs values must be positive")
+			}
+		}
+	}
+	if _, ok := a.Path.Hop(tcpsim.HopIngress); !ok {
+		if len(a.IngressBuffers) > 1 || (len(a.IngressBuffers) == 1 && a.IngressBuffers[0] != 0) {
+			return fmt.Errorf("workload: IngressBuffers axis requires an ingress hop in the path")
+		}
+	} else {
+		for _, b := range a.IngressBuffers {
+			if b < 0 {
+				return fmt.Errorf("workload: IngressBuffers values must be non-negative")
+			}
+		}
+	}
+	return nil
+}
+
+// NetPoints returns the number of distinct network points: the size of
+// the TransferSizes × RTTs × Buffers × CCs × CrossFractions product for
+// a flat grid, and of TransferSizes × EdgeCaps × WANRTTs ×
+// IngressBuffers × CCs for a multi-hop grid.
 func (a Axes) NetPoints() int {
 	n := a.normalized()
+	if n.multiHop() {
+		return len(n.TransferSizes) * len(n.EdgeCaps) * len(n.WANRTTs) * len(n.IngressBuffers) * len(n.CCs)
+	}
 	return len(n.TransferSizes) * len(n.RTTs) * len(n.Buffers) * len(n.CCs) * len(n.CrossFractions)
 }
 
@@ -136,14 +259,34 @@ type GridCell struct {
 	CrossFraction float64
 	Concurrency   int
 	ParallelFlows int
+	// Capacity overrides the base Net's link capacity when positive.
+	// Flat grids leave it 0 (the base capacity applies everywhere, and
+	// the zero keeps their experiments — and hence fingerprints, seeds,
+	// and cache records — bit-identical to the pre-path layout);
+	// multi-hop grids set it to the composed bottleneck's capacity.
+	Capacity units.BitRate
+	// EdgeCap, WANRTT, and IngressBuffer record the cell's hop-axis
+	// coordinates on a multi-hop grid (0 when the hop is absent or the
+	// grid is flat). RTT, Buffer, Capacity, and CrossFraction above
+	// hold the *composed* path behavior; these hold the hop knobs that
+	// produced it, for reporting and decision attribution.
+	EdgeCap       units.BitRate
+	WANRTT        time.Duration
+	IngressBuffer units.ByteSize
 }
 
 // Cells enumerates the grid in deterministic row order: network axes
 // outermost (sizes, then RTTs, buffers, CCs, cross fractions), then the
 // Table 2 plane in sweep order (flow counts outer, concurrencies inner).
 // With singleton network axes this is exactly RunSweep's cell order.
+// Multi-hop grids enumerate sizes, then edge capacities, WAN RTTs,
+// ingress buffers, and CCs, composing each hop point down to the
+// effective bottleneck coordinates.
 func (a Axes) Cells() []GridCell {
 	n := a.normalized()
+	if n.multiHop() {
+		return n.multiHopCells()
+	}
 	cells := make([]GridCell, 0, a.Size())
 	netIdx := 0
 	for _, size := range n.TransferSizes {
@@ -173,6 +316,76 @@ func (a Axes) Cells() []GridCell {
 		}
 	}
 	return cells
+}
+
+// multiHopCells enumerates a multi-hop grid (receiver must be
+// normalized). Each hop point — an (edge capacity, WAN RTT, ingress
+// buffer) override applied to the path — is composed down to its
+// effective bottleneck, and the *composed* coordinates (RTT, buffer,
+// cross fraction, capacity) are stored on the cell. Everything
+// downstream (seed derivation, experiment lowering, record
+// fingerprints) therefore sees an ordinary cell: a multi-hop cell and
+// a flat cell with the same composed coordinates share seeds exactly
+// as the intrinsic-seed contract requires.
+func (n Axes) multiHopCells() []GridCell {
+	cells := make([]GridCell, 0, n.Size())
+	netIdx := 0
+	for _, size := range n.TransferSizes {
+		for _, ecap := range n.EdgeCaps {
+			for _, wrtt := range n.WANRTTs {
+				for _, ibuf := range n.IngressBuffers {
+					for _, cc := range n.CCs {
+						eff := pathWithCell(n.Path, ecap, wrtt, ibuf).Effective(n.Net)
+						for _, p := range n.ParallelFlows {
+							for _, conc := range n.Concurrencies {
+								cells = append(cells, GridCell{
+									Index:         len(cells),
+									NetIndex:      netIdx,
+									TransferSize:  size,
+									RTT:           eff.BaseRTT,
+									Buffer:        eff.Buffer,
+									CC:            cc,
+									CrossFraction: eff.Cross.Fraction,
+									Capacity:      eff.Capacity,
+									EdgeCap:       ecap,
+									WANRTT:        wrtt,
+									IngressBuffer: ibuf,
+									Concurrency:   conc,
+									ParallelFlows: p,
+								})
+							}
+						}
+						netIdx++
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// pathWithCell returns a copy of the path with one hop point's axis
+// overrides applied: the edge hop's capacity, the WAN hop's RTT, and
+// the ingress hop's buffer (0 = tcpsim's half-BDP default, so the
+// buffer override is unconditional; capacity and RTT overrides of 0
+// mean "hop absent from this grid's axes" and leave the hop alone).
+func pathWithCell(p tcpsim.Path, ecap units.BitRate, wrtt time.Duration, ibuf units.ByteSize) tcpsim.Path {
+	out := append(tcpsim.Path(nil), p...)
+	for i := range out {
+		switch out[i].Role {
+		case tcpsim.HopEdge:
+			if ecap > 0 {
+				out[i].Capacity = ecap
+			}
+		case tcpsim.HopWAN:
+			if wrtt > 0 {
+				out[i].RTT = wrtt
+			}
+		case tcpsim.HopIngress:
+			out[i].Buffer = ibuf
+		}
+	}
+	return out
 }
 
 // netSeedStride separates the seed ranges of distinct network points, so
@@ -244,6 +457,14 @@ func (a Axes) experiment(c GridCell) Experiment {
 	net.Buffer = c.Buffer
 	net.CC = c.CC
 	net.Cross.Fraction = c.CrossFraction
+	if c.Capacity > 0 {
+		// Multi-hop cells carry their composed bottleneck capacity; flat
+		// cells leave it 0, keeping their experiments bit-identical to
+		// the pre-path layout. Like transfer size, capacity never enters
+		// the seed (the sweep formula has no capacity term either) — but
+		// it does enter the cell fingerprint, so records never collide.
+		net.Capacity = c.Capacity
+	}
 	net.Seed = a.Net.Seed + int64(c.Concurrency*100+c.ParallelFlows) + a.netPointSeedOffset(c)
 	return Experiment{
 		Duration:      a.Duration,
@@ -312,6 +533,48 @@ func (a Axes) Fingerprint() string {
 			b.WriteByte(',')
 		}
 		b.WriteString(f(x))
+	}
+	// Hop terms render only on multi-hop grids: a 1-hop path has been
+	// folded into Net by normalized(), so its fingerprint — and hence
+	// its memo entry and every cell record — is byte-identical to the
+	// equivalent flat grid's.
+	if n.multiHop() {
+		b.WriteString(";hops=")
+		for i, h := range n.Path {
+			if i > 0 {
+				b.WriteByte('|')
+			}
+			b.WriteString(h.Role.String())
+			b.WriteByte(':')
+			b.WriteString(f(float64(h.Capacity)))
+			b.WriteByte(':')
+			b.WriteString(strconv.FormatInt(int64(h.RTT), 10))
+			b.WriteByte(':')
+			b.WriteString(f(float64(h.Buffer)))
+			b.WriteByte(':')
+			b.WriteString(f(h.CrossFraction))
+		}
+		b.WriteString(";ecaps=")
+		for i, c := range n.EdgeCaps {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(f(float64(c)))
+		}
+		b.WriteString(";wrtts=")
+		for i, r := range n.WANRTTs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.FormatInt(int64(r), 10))
+		}
+		b.WriteString(";ibufs=")
+		for i, q := range n.IngressBuffers {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(f(float64(q)))
+		}
 	}
 	net := n.Net
 	fmt.Fprintf(&b, ";strat=%d;keep=%t", int(n.Strategy), n.KeepClientResults)

@@ -18,11 +18,12 @@ package workload
 //	[4] magic "RSG2"
 //	[4] payload length  (uint32 LE)
 //	[4] CRC-32 (IEEE) of the payload
-//	[n] payload: since v3 a fixed-layout binary row (binrecord.go:
-//	    "RBC3" magic, fingerprint, little-endian SweepRow fields);
-//	    v2 payloads — the same diskEnvelope JSON the v1 files carry —
-//	    remain readable behind legacyCellRecordVersion and are folded
-//	    to v3 by compaction.
+//	[n] payload: a fixed-layout binary row (binrecord.go: "RBC3"
+//	    magic, fingerprint, little-endian SweepRow fields). Since the
+//	    v4 bump this is the ONLY payload the store decodes: v2 JSON
+//	    envelope payloads a pre-v3 process framed are dead space — the
+//	    tail scan stops at them, an indexed one is a single-cell miss —
+//	    and the cells they covered recompute.
 //
 // Robustness mirrors the v1 contract, record-granular: any defective
 // record — bad magic, bad CRC, truncated tail, index entry pointing at
@@ -270,42 +271,29 @@ func (s *segStore) scanTail(from, fileSize int64) int64 {
 	return off
 }
 
-// segPayloadKey returns the index key of one CRC-valid framed payload —
-// v3 binary or v2 legacy JSON — for scan-time indexing, or false for a
-// payload neither format accepts (the scan stops there).
+// segPayloadKey returns the index key of one CRC-valid framed binary
+// payload for scan-time indexing, or false for anything else (the scan
+// stops there). Since the v4 bump only binary payloads are live: a v2
+// JSON envelope a pre-v3 process left behind no longer indexes — it is
+// dead space, and the cells it covered recompute (migration by
+// recompute, per the ARCHITECTURE.md version-bump checklist).
 func segPayloadKey(payload []byte) (segKey, bool) {
-	if isBinPayload(payload) {
-		fpBytes, ok := binRecordShape(payload)
-		if !ok {
-			return segKey{}, false
-		}
-		return bytesSegKey(fpBytes), true
-	}
-	var env diskEnvelope
-	if json.Unmarshal(payload, &env) != nil ||
-		env.Version != legacyCellRecordVersion || env.Fingerprint == "" {
+	if !isBinPayload(payload) {
 		return segKey{}, false
 	}
-	return fingerprintSegKey(env.Fingerprint), true
+	fpBytes, ok := binRecordShape(payload)
+	if !ok {
+		return segKey{}, false
+	}
+	return bytesSegKey(fpBytes), true
 }
 
-// decodeSegPayload decodes one CRC-valid framed payload into out,
-// accepting both record generations: v3 binary rows and v2 JSON
-// envelopes (migration by miss — v2 records keep serving until
-// compaction folds them). The embedded fingerprint must match fp
-// exactly; anything else reports false.
+// decodeSegPayload decodes one CRC-valid framed binary payload into
+// out. The embedded fingerprint must match fp exactly; anything else —
+// including a pre-v4 JSON envelope payload — reports false and is a
+// single-cell miss.
 func decodeSegPayload(payload []byte, fp string, out *SweepRow) bool {
-	if isBinPayload(payload) {
-		return decodeBinRecord(payload, fp, out)
-	}
-	var env diskEnvelope
-	if json.Unmarshal(payload, &env) != nil ||
-		env.Version != legacyCellRecordVersion ||
-		env.Fingerprint != fp ||
-		json.Unmarshal(env.Payload, out) != nil {
-		return false
-	}
-	return true
+	return isBinPayload(payload) && decodeBinRecord(payload, fp, out)
 }
 
 // segBufPool recycles record read buffers across the planner's 16-way
@@ -338,8 +326,8 @@ func readRecord(rf *os.File, e segEntry, fp string, out *SweepRow) bool {
 		if string(buf[:4]) == segMagic &&
 			int64(binary.LittleEndian.Uint32(buf[4:8])) == e.length-segHeaderSize &&
 			crc32.ChecksumIEEE(buf[segHeaderSize:]) == binary.LittleEndian.Uint32(buf[8:12]) {
-			// Decode before returning the buffer: the JSON legacy path
-			// aliases it through json.RawMessage until out is populated.
+			// Decode before returning the buffer: the decoder reads the
+			// payload in place until out is populated.
 			ok = decodeSegPayload(buf[segHeaderSize:], fp, out)
 		}
 	}
@@ -913,10 +901,11 @@ func (s *segStore) compact() (CompactStats, error) {
 	}
 
 	// Live segment records first, deterministically ordered by key so
-	// two compactions of the same state write identical segments. v3
-	// binary records copy verbatim; v2 JSON records decode and re-encode
-	// as v3 — the fold half of migration-by-miss, one record in memory
-	// at a time. Either way a defective record is skipped (dead space).
+	// two compactions of the same state write identical segments. Only
+	// shape-valid binary records are live since the v4 bump (a v2 JSON
+	// payload never enters the index, so nothing folds it); they copy
+	// verbatim, one record in memory at a time. A defective record is
+	// skipped (dead space).
 	keys := make([]segKey, 0, len(s.index))
 	for key := range s.index {
 		keys = append(keys, key)
@@ -940,36 +929,21 @@ func (s *segStore) compact() (CompactStats, error) {
 			continue
 		}
 		payload := buf[segHeaderSize:]
-		if isBinPayload(payload) {
-			if _, ok := binRecordShape(payload); !ok {
-				continue
-			}
-			if err := writeRec(key, buf); err != nil {
-				return st, err
-			}
+		if !isBinPayload(payload) {
 			continue
 		}
-		var env diskEnvelope
-		var row SweepRow
-		if json.Unmarshal(payload, &env) != nil ||
-			env.Version != legacyCellRecordVersion ||
-			env.Fingerprint == "" ||
-			json.Unmarshal(env.Payload, &row) != nil {
+		if _, ok := binRecordShape(payload); !ok {
 			continue
 		}
-		rec, err := encodeSegRecord(env.Fingerprint, row)
-		if err != nil {
-			continue
-		}
-		if err := writeRec(key, rec); err != nil {
+		if err := writeRec(key, buf); err != nil {
 			return st, err
 		}
 	}
 
-	// Then fold loose per-cell files: read, validate, re-frame as v3
-	// segment records. The envelope version may be v1 (loose) or v2 —
-	// the row schema is unchanged across all three container
-	// generations, which is exactly why migration-by-miss works.
+	// Then fold loose v1 per-cell files: read, validate, re-frame as
+	// binary segment records. The v1 row schema is unchanged across
+	// every container generation, which is why migration-by-miss still
+	// covers the loose files.
 	entries, err := os.ReadDir(s.dir)
 	if err != nil && !os.IsNotExist(err) {
 		tmp.Close()
@@ -991,7 +965,7 @@ func (s *segStore) compact() (CompactStats, error) {
 		var env diskEnvelope
 		var row SweepRow
 		if json.Unmarshal(data, &env) != nil ||
-			(env.Version != looseCellRecordVersion && env.Version != legacyCellRecordVersion) ||
+			env.Version != looseCellRecordVersion ||
 			env.Fingerprint == "" ||
 			json.Unmarshal(env.Payload, &row) != nil {
 			continue // not a cell record (or corrupt): leave it alone

@@ -18,6 +18,15 @@ import (
 func segPathOf(dir string) string { return filepath.Join(dir, segmentFileName) }
 func idxPathOf(dir string) string { return filepath.Join(dir, segmentIndexName) }
 
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
 // segEntryOf returns the segment location of one cell's record, read
 // through the live store (same package, so tests may look).
 func segEntryOf(t *testing.T, dir string, a Axes, cellIdx int) (key segKey, e segEntry) {
@@ -441,11 +450,13 @@ var segCorruptionCases = map[string]func(t *testing.T, dir string, a Axes) int{
 		}
 		return 1
 	},
-	// A v2/v3 mixed segment — the directory a half-upgraded writer fleet
-	// leaves behind: one cell's record re-appended as a v2 JSON envelope
-	// past the sidecar's cover point. The tail scan must frame it, the
-	// JSON decode path must serve it bit-identically, and NO cell may
-	// recompute (zero damaged cells).
+	// A v2/v3 mixed segment — the directory a pre-v3 writer once
+	// touched: one cell's record re-appended as a v2 JSON envelope past
+	// the sidecar's cover point. Since the v4 bump the tail scan stops
+	// at the v2 frame (dead space, never decoded) — but the cell's
+	// binary record inside the cover still serves it, so NO cell may
+	// recompute (zero damaged cells) and appends must still go to the
+	// physical EOF past the dead frame.
 	"v2/v3 mixed segment": func(t *testing.T, dir string, a Axes) int {
 		na := a.normalized()
 		fp := cellFingerprint(na.experiment(na.Cells()[6]))
@@ -636,7 +647,7 @@ func seedV2SegmentRecords(t *testing.T, dir string, a Axes) []GridRow {
 	}
 	na := a.normalized()
 	var seg []byte
-	idx := legacyJSONSidecar{Version: legacyCellRecordVersion, Entries: map[string][2]int64{}}
+	idx := legacyJSONSidecar{Version: "repro-cells/v2", Entries: map[string][2]int64{}}
 	for i, c := range na.Cells() {
 		fp := cellFingerprint(na.experiment(c))
 		rec := encodeLegacySegRecord(t, fp, cold.Rows[i].SweepRow)
@@ -657,18 +668,20 @@ func seedV2SegmentRecords(t *testing.T, dir string, a Axes) []GridRow {
 	return cold.Rows
 }
 
-// TestV2SegmentMigration is the v2→v3 half of migration-by-miss,
-// mirroring TestLegacyMigrationByMiss one container generation up: a
-// segment full of v2 JSON records (with its v2-era JSON sidecar, which
-// fails the binary sidecar magic and forces the full scan) serves a
-// grid with zero
-// engine runs and every cell attributed to the segment; compaction then
-// folds every record to v3 binary in place, after which the store is
-// still fully warm and bit-identical.
-func TestV2SegmentMigration(t *testing.T) {
+// TestV2SegmentStale pins the v4 half of the version-bump checklist:
+// the v2 JSON segment fallback was DROPPED, so a directory a v2-era
+// process left behind (all-v2 segment + v2 JSON sidecar) no longer
+// serves anything. The sidecar fails the binary magic → full scan; the
+// scan stops at the first v2 frame (dead space, never decoded) → every
+// cell recomputes, bit-identical to the cold reference. The recomputed
+// records then append past the dead frames, and compaction reclaims
+// the space: the repaired store is fully warm, all-binary, and still
+// bit-identical.
+func TestV2SegmentStale(t *testing.T) {
 	dir := t.TempDir()
 	a := fastAxes()
 	rows := seedV2SegmentRecords(t, dir, a)
+	v2Size := fileSize(t, segPathOf(dir))
 
 	ResetSegmentStores()
 	warm := NewGridCache()
@@ -679,15 +692,20 @@ func TestV2SegmentMigration(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := ReadCacheStats().Since(base)
-	if d.EngineRuns != 0 || d.CellsFromSegment != int64(a.Size()) || d.CellsFromDisk != 0 {
-		t.Fatalf("v2 migration stats = %v, want all %d cells from segment, zero engine runs", d, a.Size())
+	if d.EngineRuns != int64(a.Size()) || d.CellsFromSegment != 0 || d.CellsFromDisk != 0 {
+		t.Fatalf("v2 staleness stats = %v, want all %d cells recomputed, none served", d, a.Size())
 	}
 	if gridRowsJSON(t, g.Rows) != gridRowsJSON(t, rows) {
-		t.Fatal("rows served from v2 records differ from the cold reference")
+		t.Fatal("recomputed rows differ from the cold reference")
+	}
+	// The recomputed records appended past the dead v2 frames — the
+	// stale bytes were never truncated, only superseded.
+	if got := fileSize(t, segPathOf(dir)); got <= v2Size {
+		t.Fatalf("segment size %d after recompute, want appends past the %d-byte v2 region", got, v2Size)
 	}
 
-	// Compaction folds v2 → v3: same record count, and every payload in
-	// the rewritten segment now carries the binary magic.
+	// Compaction keeps exactly the live binary records and reclaims the
+	// v2 region as dead space.
 	st, err := CompactDiskCache(dir)
 	if err != nil {
 		t.Fatal(err)
@@ -707,7 +725,7 @@ func TestV2SegmentMigration(t *testing.T) {
 		n := int(binary.LittleEndian.Uint32(seg[off+4 : off+8]))
 		payload := seg[off+segHeaderSize : off+segHeaderSize+n]
 		if !isBinPayload(payload) {
-			t.Fatalf("record %d still carries a non-v3 payload after compaction", count)
+			t.Fatalf("record %d still carries a non-binary payload after compaction", count)
 		}
 		off += segHeaderSize + n
 		count++
@@ -726,10 +744,10 @@ func TestV2SegmentMigration(t *testing.T) {
 	}
 	d = ReadCacheStats().Since(base)
 	if d.EngineRuns != 0 || d.CellsFromSegment != int64(a.Size()) {
-		t.Fatalf("post-fold stats = %v, want all %d cells from segment", d, a.Size())
+		t.Fatalf("post-repair stats = %v, want all %d cells from segment", d, a.Size())
 	}
 	if gridRowsJSON(t, g2.Rows) != gridRowsJSON(t, rows) {
-		t.Fatal("rows differ after folding v2 records to v3")
+		t.Fatal("rows differ after compaction of the repaired store")
 	}
 }
 
@@ -786,7 +804,7 @@ var sidecarCorruptionCases = map[string]func(t *testing.T, data []byte) []byte{
 		if !ok {
 			t.Fatal("seed sidecar does not decode")
 		}
-		idx := legacyJSONSidecar{Version: legacyCellRecordVersion, Size: cover, Entries: map[string][2]int64{}}
+		idx := legacyJSONSidecar{Version: "repro-cells/v2", Size: cover, Entries: map[string][2]int64{}}
 		for _, ent := range entries {
 			idx.Entries[hex.EncodeToString(ent.key[:])] = [2]int64{ent.e.off, ent.e.length}
 		}

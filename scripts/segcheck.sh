@@ -92,4 +92,44 @@ if ! diff <(sed '$d' "$cold_report") <(sed '$d' "$warm_report") >> "$OUT_LOG"; t
     echo "segcheck: warm grid report differs from cold report (diff in $OUT_LOG)" >&2
     exit 1
 fi
+
+# ---- multi-hop round: the same cold → compact → warm byte-identity
+# guarantee for a 2-hop (edge→WAN) grid, whose v4 cell records carry hop
+# coordinates. 2 ecaps × 2 wrtts × 2 concs × 2 P = 16 cells — small,
+# because this round gates hop-axis cache identity, not scale.
+hop_cold="$CACHE_DIR/report-hop-cold.txt"
+hop_warm="$CACHE_DIR/report-hop-warm.txt"
+hopgrid() {
+    go run ./cmd/ssslab -grid -seconds 1 \
+        -hops edge:10Gbps:2ms,wan:100Gbps:30ms:8MB:0.3 \
+        -edge-caps 10Gbps,40Gbps -wan-rtts 20ms,60ms \
+        -concs 2,4 -pflows 4,8 -cache-stats
+}
+
+echo "== cold 2-hop grid =="
+hopgrid > "$hop_cold"
+hop_cold_line=$(tail -n 1 "$hop_cold")
+echo "hop cold: $hop_cold_line" | tee -a "$OUT_LOG"
+# The flat round's compacted segment is still in CACHE_DIR: the hop
+# cells must all miss it (hop coordinates key differently) and simulate.
+want_hop_cold='^cache-stats: cells=16 memo=0 disk=0 segment=0 engine-runs=16 lock-waits=0 index-load=[^ ]+ bytes-read=[0-9]+$'
+printf '%s\n' "$hop_cold_line" | grep -Eq "$want_hop_cold" \
+    || fail "cold 2-hop run did not simulate all 16 cells" "$want_hop_cold" "$hop_cold_line"
+
+echo "== compact (hop cells into the segment) =="
+go run ./cmd/ssslab -compact-cache | tee -a "$OUT_LOG"
+
+echo "== warm 2-hop re-run from the compacted segment (fresh process) =="
+hopgrid > "$hop_warm"
+hop_warm_line=$(tail -n 1 "$hop_warm")
+echo "hop warm: $hop_warm_line" | tee -a "$OUT_LOG"
+want_hop_warm='^cache-stats: cells=16 memo=0 disk=0 segment=16 engine-runs=0 lock-waits=0 index-load=[^ ]+ bytes-read=[1-9][0-9]*$'
+printf '%s\n' "$hop_warm_line" | grep -Eq "$want_hop_warm" \
+    || fail "warm 2-hop run was not served entirely from the segment" "$want_hop_warm" "$hop_warm_line"
+
+echo "== warm 2-hop report byte-identical to cold =="
+if ! diff <(sed '$d' "$hop_cold") <(sed '$d' "$hop_warm") >> "$OUT_LOG"; then
+    echo "segcheck: warm 2-hop report differs from cold report (diff in $OUT_LOG)" >&2
+    exit 1
+fi
 echo "OK"
